@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All benchmarks share one :class:`ExperimentRunner`, so baseline runs are
+simulated once and reused across figures (the same way the paper's
+figures share the same simulation campaign). ``REPRO_BENCH_SCALE``
+(environment variable, dynamic instructions per run) raises the scale
+for higher-fidelity numbers; the default keeps the full harness in the
+minutes range.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentRunner, RunScale
+
+_DEFAULT_INSTRUCTIONS = 4000
+
+
+def _scale() -> RunScale:
+    n = int(os.environ.get("REPRO_BENCH_SCALE", _DEFAULT_INSTRUCTIONS))
+    return RunScale(num_instructions=n, warmup_instructions=n // 2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(_scale())

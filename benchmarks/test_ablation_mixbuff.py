@@ -1,0 +1,56 @@
+"""Ablation: which of MB_distr's ingredients buys what.
+
+DESIGN.md calls out three design choices in the MB_distr configuration;
+this bench ablates each against the full scheme on a slice of the FP
+suite:
+
+* distributing the functional units (vs a pooled FU cluster),
+* capping chains at 8 per queue (vs unbounded chains),
+* queue geometry (8x16 vs 8x8 buffers).
+"""
+
+from repro.common.config import IssueSchemeConfig
+from repro.experiments import IQ_64_64, render_series
+
+FP_SLICE = ["ammp", "galgel", "swim", "mesa"]
+
+
+def _mb(**overrides):
+    base = dict(
+        kind="mixbuff",
+        int_queues=8,
+        int_queue_entries=8,
+        fp_queues=8,
+        fp_queue_entries=16,
+        distributed_fus=True,
+        max_chains_per_queue=8,
+    )
+    base.update(overrides)
+    return IssueSchemeConfig(**base)
+
+
+VARIANTS = {
+    "MB_distr (full)": _mb(),
+    "pooled FUs": _mb(distributed_fus=False),
+    "unbounded chains": _mb(max_chains_per_queue=None),
+    "8x8 buffers": _mb(fp_queue_entries=8),
+    "4 FP queues": _mb(fp_queues=4),
+}
+
+
+def _ablate(runner):
+    losses = {}
+    for name, scheme in VARIANTS.items():
+        losses[name] = runner.average_loss_pct(FP_SLICE, scheme, IQ_64_64)
+    return losses
+
+
+def test_mixbuff_ablation(benchmark, runner):
+    losses = benchmark.pedantic(_ablate, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_series("Ablation. MB_distr IPC loss vs IQ_64_64 (FP slice)", losses))
+    # Distribution costs performance (that is the paper's complexity
+    # trade): the pooled variant must not be slower than the full scheme.
+    assert losses["pooled FUs"] <= losses["MB_distr (full)"] + 1.0
+    # Fewer queues must not help.
+    assert losses["4 FP queues"] >= losses["MB_distr (full)"] - 1.0

@@ -1,0 +1,18 @@
+"""Figure 02: IPC loss of the IssueFIFO technique w.r.t. the unbounded baseline.
+
+Regenerates the series of the paper's Figure 02: average IPC loss of
+IssueFIFO technique, SPECINT (integer queues swept) relative to a conventional issue queue as large as the reorder
+buffer.
+"""
+
+from repro.experiments import render_series
+from repro.experiments.figures import figure2
+
+
+def test_figure2(benchmark, runner):
+    data = benchmark.pedantic(figure2, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 02. % IPC loss w.r.t. unbounded baseline (IssueFIFO technique, SPECINT (integer queues swept))", data))
+    # Every configuration loses some performance but remains functional.
+    for name, loss in data.items():
+        assert -5.0 < loss < 60.0, name

@@ -1,0 +1,18 @@
+"""Figure 03: IPC loss of the IssueFIFO technique w.r.t. the unbounded baseline.
+
+Regenerates the series of the paper's Figure 03: average IPC loss of
+IssueFIFO technique, SPECFP (FP queues swept) relative to a conventional issue queue as large as the reorder
+buffer.
+"""
+
+from repro.experiments import render_series
+from repro.experiments.figures import figure3
+
+
+def test_figure3(benchmark, runner):
+    data = benchmark.pedantic(figure3, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 03. % IPC loss w.r.t. unbounded baseline (IssueFIFO technique, SPECFP (FP queues swept))", data))
+    # Every configuration loses some performance but remains functional.
+    for name, loss in data.items():
+        assert -5.0 < loss < 60.0, name

@@ -1,0 +1,18 @@
+"""Figure 04: IPC loss of the LatFIFO technique w.r.t. the unbounded baseline.
+
+Regenerates the series of the paper's Figure 04: average IPC loss of
+LatFIFO technique, SPECFP relative to a conventional issue queue as large as the reorder
+buffer.
+"""
+
+from repro.experiments import render_series
+from repro.experiments.figures import figure4
+
+
+def test_figure4(benchmark, runner):
+    data = benchmark.pedantic(figure4, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 04. % IPC loss w.r.t. unbounded baseline (LatFIFO technique, SPECFP)", data))
+    # Every configuration loses some performance but remains functional.
+    for name, loss in data.items():
+        assert -5.0 < loss < 60.0, name

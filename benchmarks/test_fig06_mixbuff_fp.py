@@ -1,0 +1,18 @@
+"""Figure 06: IPC loss of the MixBUFF technique w.r.t. the unbounded baseline.
+
+Regenerates the series of the paper's Figure 06: average IPC loss of
+MixBUFF technique, SPECFP relative to a conventional issue queue as large as the reorder
+buffer.
+"""
+
+from repro.experiments import render_series
+from repro.experiments.figures import figure6
+
+
+def test_figure6(benchmark, runner):
+    data = benchmark.pedantic(figure6, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 06. % IPC loss w.r.t. unbounded baseline (MixBUFF technique, SPECFP)", data))
+    # Every configuration loses some performance but remains functional.
+    for name, loss in data.items():
+        assert -5.0 < loss < 60.0, name

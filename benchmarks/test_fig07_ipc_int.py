@@ -1,0 +1,20 @@
+"""Figure 7: IPC for the integer benchmarks.
+
+IQ_64_64 (bounded conventional baseline) vs IF_distr vs MB_distr with
+distributed functional units, plus the harmonic mean, exactly the bars
+of the paper's Figure 7.
+"""
+
+from repro.experiments import render_table
+from repro.experiments.figures import figure7
+
+
+def test_figure7(benchmark, runner):
+    data = benchmark.pedantic(figure7, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_table("Figure 7. IPC SPECINT", data))
+    hm = {name: series["HARMEAN"] for name, series in data.items()}
+    # Both low-complexity schemes lose some IPC against the baseline;
+    # on the integer side they behave identically (shared integer FIFOs).
+    assert hm["IF_distr"] <= hm["IQ_64_64"]
+    assert abs(hm["IF_distr"] - hm["MB_distr"]) / hm["IF_distr"] < 0.05

@@ -1,0 +1,19 @@
+"""Figure 8: IPC for the FP benchmarks.
+
+The paper's headline performance result: MB_distr outperforms IF_distr
+on every FP benchmark and stays much closer to the IQ_64_64 baseline.
+"""
+
+from repro.experiments import render_table
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, runner):
+    data = benchmark.pedantic(figure8, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_table("Figure 8. IPC SPECFP", data))
+    hm = {name: series["HARMEAN"] for name, series in data.items()}
+    if_loss = 100 * (hm["IQ_64_64"] - hm["IF_distr"]) / hm["IQ_64_64"]
+    mb_loss = 100 * (hm["IQ_64_64"] - hm["MB_distr"]) / hm["IQ_64_64"]
+    print(f"\n  HARMEAN loss: IF_distr {if_loss:.1f}%  MB_distr {mb_loss:.1f}%")
+    assert mb_loss < if_loss  # MixBUFF wins (paper: 7.6% vs 26.0%)

@@ -1,0 +1,17 @@
+"""Figure 09: energy breakdown for the IQ_64_64 scheme.
+
+Suite-aggregated issue-logic energy fractions per component, for the
+integer and FP suites separately, matching the stacked bars of the
+paper's Figure 09.
+"""
+
+from repro.experiments import render_breakdown
+from repro.experiments.figures import figure9
+
+
+def test_figure9(benchmark, runner):
+    data = benchmark.pedantic(figure9, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_breakdown("Figure 09. Energy breakdown IQ_64_64", data))
+    for suite, components in data.items():
+        assert abs(sum(components.values()) - 1.0) < 1e-9, suite

@@ -1,0 +1,17 @@
+"""Figure 11: energy breakdown for the MB_distr scheme.
+
+Suite-aggregated issue-logic energy fractions per component, for the
+integer and FP suites separately, matching the stacked bars of the
+paper's Figure 11.
+"""
+
+from repro.experiments import render_breakdown
+from repro.experiments.figures import figure11
+
+
+def test_figure11(benchmark, runner):
+    data = benchmark.pedantic(figure11, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_breakdown("Figure 11. Energy breakdown MB_distr", data))
+    for suite, components in data.items():
+        assert abs(sum(components.values()) - 1.0) < 1e-9, suite

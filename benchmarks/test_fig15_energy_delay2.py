@@ -1,0 +1,17 @@
+"""Figure 15: Normalized energy x delay^2.
+
+Suite-averaged normalized energy x delay^2, normalized to the IQ_64_64 baseline (whole-
+chip metrics assume the issue queue is 23% of baseline chip power, as
+the paper does).
+"""
+
+from repro.experiments import render_table
+from repro.experiments.figures import figure15
+
+
+def test_figure15(benchmark, runner):
+    data = benchmark.pedantic(figure15, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(render_table("Figure 15. Normalized energy x delay^2 (baseline = 1.0)", data))
+    for suite, schemes in data.items():
+        assert abs(schemes["IQ_64_64"] - 1.0) < 1e-9, suite

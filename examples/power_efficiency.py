@@ -1,0 +1,61 @@
+"""Section 4 power-efficiency comparison on one benchmark.
+
+Computes the paper's four metrics — issue-queue power, issue-queue
+energy, whole-chip energy·delay and energy·delay² (assuming the issue
+queue is 23% of baseline chip power) — for IQ_64_64, IF_distr and
+MB_distr, normalized to the baseline.
+
+Usage::
+
+    python examples/power_efficiency.py [benchmark]
+"""
+
+import sys
+
+from repro import ExperimentRunner, IF_DISTR, IQ_64_64, MB_DISTR, RunScale, default_config
+from repro.common.config import scheme_name
+from repro.energy import (
+    EnergyModel,
+    breakdown_fractions,
+    calibrate_rest_of_chip,
+    compute_metrics,
+    energy_breakdown,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "equake"
+    runner = ExperimentRunner(RunScale(num_instructions=4000, warmup_instructions=2000))
+
+    baseline_stats = runner.run(benchmark, IQ_64_64)
+    baseline_model = EnergyModel(default_config(IQ_64_64))
+    rest = calibrate_rest_of_chip(
+        baseline_model.energy_pj(baseline_stats.events.as_dict()),
+        baseline_stats.cycles,
+        baseline_stats.committed_instructions,
+    )
+    baseline_metrics = compute_metrics(baseline_model, baseline_stats, rest)
+
+    print(f"benchmark: {benchmark}\n")
+    print(f"{'scheme':<26} {'IPC':>6} {'power':>7} {'energy':>7} {'ED':>7} {'ED2':>7}")
+    for scheme in (IQ_64_64, IF_DISTR, MB_DISTR):
+        stats = runner.run(benchmark, scheme)
+        model = EnergyModel(default_config(scheme))
+        metrics = compute_metrics(model, stats, rest)
+        norm = metrics.normalized_to(baseline_metrics)
+        print(
+            f"{scheme_name(scheme):<26} {stats.ipc:>6.2f} "
+            f"{norm['power']:>7.2f} {norm['energy']:>7.2f} "
+            f"{norm['energy_delay']:>7.2f} {norm['energy_delay2']:>7.2f}"
+        )
+
+    print("\nissue-logic energy breakdown (MB_distr):")
+    stats = runner.run(benchmark, MB_DISTR)
+    model = EnergyModel(default_config(MB_DISTR))
+    fractions = breakdown_fractions(energy_breakdown(model, stats.events.as_dict()))
+    for component, fraction in sorted(fractions.items(), key=lambda kv: -kv[1]):
+        print(f"  {component:<12} {100 * fraction:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

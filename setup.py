@@ -1,0 +1,10 @@
+"""Setup shim so the package installs in environments without `wheel`.
+
+`pip install -e . --no-build-isolation` falls back to this legacy path
+(`setup.py develop`) when the PEP 660 editable-wheel build is unavailable.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Low-Complexity Distributed Issue Queue".
+
+Abella & González, HPCA 2004. The package provides:
+
+* :mod:`repro.core` — a trace-driven cycle-level out-of-order superscalar
+  simulator (Table 1 configuration);
+* :mod:`repro.issue` — the four issue-queue organizations the paper
+  studies (conventional CAM/RAM, IssueFIFO, LatFIFO, MixBUFF);
+* :mod:`repro.workloads` — synthetic SPEC2000 stand-in benchmarks;
+* :mod:`repro.energy` — CACTI/Wattch-style energy accounting;
+* :mod:`repro.experiments` — one generator per figure of the paper.
+
+Quick start::
+
+    from repro import ExperimentRunner, MB_DISTR, IQ_64_64
+
+    runner = ExperimentRunner()
+    print(runner.ipc("swim", MB_DISTR), runner.ipc("swim", IQ_64_64))
+"""
+
+from repro.common.config import (
+    IssueSchemeConfig,
+    ProcessorConfig,
+    default_config,
+    scheme_name,
+)
+from repro.common.stats import SimulationStats, harmonic_mean
+from repro.core.processor import Processor
+from repro.energy.model import EnergyModel
+from repro.experiments.configs import BASELINE_UNBOUNDED, IF_DISTR, IQ_64_64, MB_DISTR
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.workloads.generator import generate_trace
+from repro.workloads.suites import (
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    get_profile,
+    specfp2000,
+    specint2000,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE_UNBOUNDED",
+    "EnergyModel",
+    "ExperimentRunner",
+    "FP_BENCHMARKS",
+    "IF_DISTR",
+    "INT_BENCHMARKS",
+    "IQ_64_64",
+    "IssueSchemeConfig",
+    "MB_DISTR",
+    "Processor",
+    "ProcessorConfig",
+    "RunScale",
+    "SimulationStats",
+    "default_config",
+    "generate_trace",
+    "get_profile",
+    "harmonic_mean",
+    "scheme_name",
+    "specfp2000",
+    "specint2000",
+    "__version__",
+]

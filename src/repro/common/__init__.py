@@ -1,0 +1,42 @@
+"""Shared infrastructure: configuration, statistics, errors, RNG streams."""
+
+from repro.common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    FunctionalUnitConfig,
+    IssueSchemeConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    default_config,
+    scheme_name,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    UnknownBenchmarkError,
+)
+from repro.common.rng import derive_seed, make_rng
+from repro.common.stats import SimulationStats, StatCounters, harmonic_mean
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "ConfigurationError",
+    "FunctionalUnitConfig",
+    "IssueSchemeConfig",
+    "MemoryConfig",
+    "ProcessorConfig",
+    "ReproError",
+    "SimulationError",
+    "SimulationStats",
+    "StatCounters",
+    "TraceError",
+    "UnknownBenchmarkError",
+    "default_config",
+    "derive_seed",
+    "harmonic_mean",
+    "make_rng",
+    "scheme_name",
+]

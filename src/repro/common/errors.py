@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by the simulator with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised by the ``validate`` methods of the config dataclasses, e.g. a
+    cache whose size is not a multiple of ``associativity * line_size``,
+    or an issue scheme with zero queues.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state.
+
+    This always indicates a bug in the simulator (or a hand-built trace
+    that violates the instruction-stream invariants), never a property of
+    the simulated program.
+    """
+
+
+class TraceError(ReproError):
+    """An instruction trace violates the stream invariants.
+
+    Examples: a source register that was never written and is not an
+    initial live-in, a load without an address, or a branch without an
+    outcome.
+    """
+
+
+class UnknownBenchmarkError(ReproError):
+    """A benchmark name was requested that no suite defines."""

@@ -1,0 +1,108 @@
+"""Statistics counters shared by the simulator components.
+
+:class:`StatCounters` is a thin named-counter bag with helpers for rates
+and merging; :class:`SimulationStats` is the structured result a
+:class:`~repro.core.processor.Processor` run produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["StatCounters", "SimulationStats", "harmonic_mean"]
+
+
+class StatCounters:
+    """A bag of named integer counters.
+
+    Missing counters read as zero, so callers can increment freely without
+    pre-registering names. Iterating yields ``(name, value)`` sorted by
+    name so reports are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (which may be zero)."""
+        if amount:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "StatCounters") -> None:
+        """Add every counter of ``other`` into this bag."""
+        for name, value in other._counts.items():
+            self.add(name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters as a plain dict."""
+        return dict(self._counts)
+
+    def __iter__(self):
+        return iter(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"StatCounters({inner})"
+
+
+@dataclass
+class SimulationStats:
+    """Results of one simulation run.
+
+    ``events`` holds every raw activity counter (cache accesses, issue
+    queue reads, wakeup comparisons, ...) used later by the energy model.
+    """
+
+    cycles: int = 0
+    committed_instructions: int = 0
+    fetched_instructions: int = 0
+    dispatch_stall_cycles: int = 0
+    branch_predictions: int = 0
+    branch_mispredictions: int = 0
+    events: StatCounters = field(default_factory=StatCounters)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of dynamic branches mispredicted."""
+        if self.branch_predictions == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branch_predictions
+
+    def summary(self) -> Mapping[str, float]:
+        """Headline numbers, useful for quick printing."""
+        return {
+            "cycles": float(self.cycles),
+            "instructions": float(self.committed_instructions),
+            "ipc": self.ipc,
+            "mispredict_rate": self.mispredict_rate,
+            "dispatch_stall_cycles": float(self.dispatch_stall_cycles),
+        }
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, the average the paper uses for IPC bars.
+
+    Zero or negative entries are rejected because a zero IPC would make
+    the harmonic mean meaningless (and signals a broken run).
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

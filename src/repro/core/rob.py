@@ -1,0 +1,76 @@
+"""Reorder buffer: in-order commit and age identifiers.
+
+The ROB is a bounded FIFO of :class:`~repro.core.uop.InFlight` entries.
+Ages are monotone dispatch sequence numbers — the paper implements them
+as "the reorder buffer position plus one extra wrap bit"; a monotone
+integer is the software equivalent (the comparison outcomes are
+identical).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.common.errors import SimulationError
+from repro.core.uop import InFlight
+
+__all__ = ["ReorderBuffer"]
+
+
+class ReorderBuffer:
+    """Bounded in-order retirement window."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise SimulationError("ROB needs at least one entry")
+        self.capacity = entries
+        self._entries: Deque[InFlight] = deque()
+        self._next_age = 0
+        self.committed = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def allocate_age(self) -> int:
+        """Next age identifier (call only when actually dispatching)."""
+        age = self._next_age
+        self._next_age += 1
+        return age
+
+    def push(self, uop: InFlight) -> None:
+        """Append a newly dispatched instruction (must be in age order)."""
+        if self.full:
+            raise SimulationError("ROB overflow — dispatch must check full")
+        if self._entries and uop.age <= self._entries[-1].age:
+            raise SimulationError("ROB push out of age order")
+        self._entries.append(uop)
+
+    def commit_ready(self, cycle: int, width: int) -> List[InFlight]:
+        """Retire up to ``width`` completed instructions in order."""
+        retired: List[InFlight] = []
+        while (
+            self._entries
+            and len(retired) < width
+            and self._entries[0].completed
+            and self._entries[0].complete_cycle <= cycle
+        ):
+            retired.append(self._entries.popleft())
+        self.committed += len(retired)
+        return retired
+
+    def head_seq(self) -> int:
+        """Sequence number of the oldest in-flight instruction (or -1)."""
+        return self._entries[0].seq if self._entries else -1
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,71 @@
+"""Physical-register readiness scoreboard.
+
+This is the "table that stores just one bit per physical register
+indicating whether it is available" of the FIFO schemes, generalized: it
+stores the *cycle* at which each physical register's value is available,
+which lets any scheme answer "ready at cycle t?" exactly. Initial
+architectural state is available at cycle 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["Scoreboard", "NEVER"]
+
+# Sentinel ready-cycle for a register whose producer has not issued yet.
+NEVER = 1 << 60
+_NEVER = NEVER
+
+
+class Scoreboard:
+    """Ready cycles for both physical register files."""
+
+    def __init__(self, num_phys_int: int, num_phys_fp: int, num_arch_int: int, num_arch_fp: int) -> None:
+        self._int: List[int] = [_NEVER] * num_phys_int
+        self._fp: List[int] = [_NEVER] * num_phys_fp
+        # Initial architectural mappings (phys i holds arch i) are live-in
+        # values, ready from the start.
+        for i in range(num_arch_int):
+            self._int[i] = 0
+        for i in range(num_arch_fp):
+            self._fp[i] = 0
+
+    def _bank(self, is_fp: bool) -> List[int]:
+        return self._fp if is_fp else self._int
+
+    def mark_pending(self, phys: Tuple[bool, int]) -> None:
+        """Destination allocated: value not available until set_ready."""
+        is_fp, index = phys
+        self._bank(is_fp)[index] = _NEVER
+
+    def set_ready(self, phys: Tuple[bool, int], cycle: int) -> None:
+        """Value of ``phys`` becomes available at ``cycle``."""
+        is_fp, index = phys
+        self._bank(is_fp)[index] = cycle
+
+    def ready_cycle(self, phys: Tuple[bool, int]) -> int:
+        """Cycle at which ``phys`` is (or will be) available."""
+        is_fp, index = phys
+        return self._bank(is_fp)[index]
+
+    def is_ready(self, phys: Tuple[bool, int], cycle: int) -> bool:
+        """True if the value is available to an instruction issuing at ``cycle``."""
+        return self.ready_cycle(phys) <= cycle
+
+    def all_ready(self, phys_list, cycle: int) -> bool:
+        """True if every register in ``phys_list`` is available at ``cycle``."""
+        return all(self.ready_cycle(p) <= cycle for p in phys_list)
+
+    def is_scheduled(self, phys: Tuple[bool, int]) -> bool:
+        """True once the producer has issued (ready cycle is known)."""
+        return self.ready_cycle(phys) < _NEVER
+
+    def operands_ready_cycle(self, phys_list) -> int:
+        """Earliest cycle at which all operands are available (0 if none)."""
+        latest = 0
+        for p in phys_list:
+            r = self.ready_cycle(p)
+            if r > latest:
+                latest = r
+        return latest

@@ -1,0 +1,45 @@
+"""Energy modelling: CACTI-like arrays, event weighting, metrics."""
+
+from repro.energy.breakdown import (
+    COMPONENT_OF_EVENT,
+    breakdown_fractions,
+    energy_breakdown,
+)
+from repro.energy.cacti import (
+    TECH_100NM,
+    Technology,
+    cam_broadcast_energy,
+    cam_compare_energy,
+    mux_drive_energy,
+    ram_access_energy,
+    select_energy,
+)
+from repro.energy.metrics import (
+    IQ_POWER_SHARE,
+    EfficiencyMetrics,
+    RestOfChipModel,
+    compute_metrics,
+)
+from repro.energy.metrics import calibrate_rest_of_chip
+from repro.energy.model import ENTRY_BITS, TAG_BITS, EnergyModel
+
+__all__ = [
+    "COMPONENT_OF_EVENT",
+    "ENTRY_BITS",
+    "EfficiencyMetrics",
+    "EnergyModel",
+    "IQ_POWER_SHARE",
+    "RestOfChipModel",
+    "TAG_BITS",
+    "TECH_100NM",
+    "Technology",
+    "breakdown_fractions",
+    "calibrate_rest_of_chip",
+    "cam_broadcast_energy",
+    "cam_compare_energy",
+    "compute_metrics",
+    "energy_breakdown",
+    "mux_drive_energy",
+    "ram_access_energy",
+    "select_energy",
+]

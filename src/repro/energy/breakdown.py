@@ -1,0 +1,62 @@
+"""Energy breakdowns per component (Figures 9, 10, 11).
+
+Each figure stacks the issue-logic energy into named components. The
+component names match the paper's legends:
+
+* IQ_64_64 (Figure 9): ``wakeup``, ``buff``, ``select``, ``MuxIntALU``,
+  ``MuxIntMUL``, ``MuxFPALU``, ``MuxFPMUL``;
+* IF_distr (Figure 10): ``Qrename``, ``fifo``, ``regs_ready``, muxes;
+* MB_distr (Figure 11): ``Qrename``, ``fifo``, ``buff``, ``regs_ready``,
+  ``select``, ``chains``, ``reg``, muxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.energy.model import EnergyModel
+
+__all__ = ["COMPONENT_OF_EVENT", "energy_breakdown", "breakdown_fractions"]
+
+COMPONENT_OF_EVENT: Mapping[str, str] = {
+    "iq_wakeup_comparisons": "wakeup",
+    "iq_wakeup_broadcasts": "wakeup",
+    "iq_buff_write": "buff",
+    "iq_buff_read": "buff",
+    "iq_select_cycles": "select",
+    "qrename_read": "Qrename",
+    "qrename_write": "Qrename",
+    "fifo_write": "fifo",
+    "fifo_read": "fifo",
+    "regs_ready_read": "regs_ready",
+    "regs_ready_write": "regs_ready",
+    "mb_buff_write": "buff",
+    "mb_buff_read": "buff",
+    "mb_select_cycles": "select",
+    "chains_read": "chains",
+    "chains_write": "chains",
+    "mb_reg_write": "reg",
+    "latfifo_estimator_ops": "estimator",
+    "mux_int_alu": "MuxIntALU",
+    "mux_int_mul": "MuxIntMUL",
+    "mux_fp_alu": "MuxFPALU",
+    "mux_fp_mul": "MuxFPMUL",
+}
+
+
+def energy_breakdown(model: EnergyModel, events: Dict[str, int]) -> Dict[str, float]:
+    """Issue-logic energy (pJ) per named component."""
+    per_event = model.energy_by_event(events)
+    breakdown: Dict[str, float] = {}
+    for event, energy in per_event.items():
+        component = COMPONENT_OF_EVENT.get(event, "other")
+        breakdown[component] = breakdown.get(component, 0.0) + energy
+    return breakdown
+
+
+def breakdown_fractions(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a breakdown to fractions summing to 1 (empty → empty)."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {}
+    return {name: value / total for name, value in breakdown.items()}

@@ -1,0 +1,102 @@
+"""Power-efficiency metrics (Figures 12–15).
+
+Power and energy (Figures 12, 13) are for the issue queue alone. The
+energy·delay and energy·delay² comparisons (Figures 14, 15) are for the
+*whole processor*, assuming — as the paper does, citing Wilcox & Manne —
+that the issue queue contributes 23% of total chip power in the baseline.
+The rest of the chip is modelled as energy proportional to activity: a
+per-cycle component (clock tree, leakage-as-dynamic at this node) plus a
+per-committed-instruction component, split 40/60, calibrated on the
+baseline so the issue-queue share is exactly 23% there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.stats import SimulationStats
+from repro.energy.model import EnergyModel
+
+__all__ = ["IQ_POWER_SHARE", "EfficiencyMetrics", "compute_metrics", "RestOfChipModel"]
+
+IQ_POWER_SHARE = 0.23
+_PER_CYCLE_SPLIT = 0.4
+
+
+@dataclass(frozen=True)
+class RestOfChipModel:
+    """Per-cycle and per-instruction energy of everything but the IQ."""
+
+    per_cycle_pj: float
+    per_instruction_pj: float
+
+    def energy_pj(self, cycles: int, instructions: int) -> float:
+        return self.per_cycle_pj * cycles + self.per_instruction_pj * instructions
+
+
+def calibrate_rest_of_chip(
+    baseline_iq_energy_pj: float,
+    baseline_cycles: int,
+    baseline_instructions: int,
+) -> RestOfChipModel:
+    """Fit the rest-of-chip model so the baseline IQ share is 23%."""
+    if baseline_cycles <= 0 or baseline_instructions <= 0:
+        raise ValueError("baseline run must have cycles and instructions")
+    rest_total = baseline_iq_energy_pj * (1.0 - IQ_POWER_SHARE) / IQ_POWER_SHARE
+    per_cycle = rest_total * _PER_CYCLE_SPLIT / baseline_cycles
+    per_instruction = rest_total * (1.0 - _PER_CYCLE_SPLIT) / baseline_instructions
+    return RestOfChipModel(per_cycle, per_instruction)
+
+
+@dataclass
+class EfficiencyMetrics:
+    """All the quantities Figures 12–15 report, for one run."""
+
+    iq_energy_pj: float
+    cycles: int
+    instructions: int
+    chip_energy_pj: float
+
+    @property
+    def iq_power(self) -> float:
+        """Issue-queue power: energy per cycle (pJ/cycle)."""
+        return self.iq_energy_pj / self.cycles if self.cycles else 0.0
+
+    @property
+    def energy_delay(self) -> float:
+        """Whole-chip energy × delay (pJ·cycles)."""
+        return self.chip_energy_pj * self.cycles
+
+    @property
+    def energy_delay2(self) -> float:
+        """Whole-chip energy × delay² (pJ·cycles²)."""
+        return self.chip_energy_pj * self.cycles * self.cycles
+
+    def normalized_to(self, baseline: "EfficiencyMetrics") -> Dict[str, float]:
+        """The paper's normalized comparison against a baseline run."""
+        return {
+            "power": self.iq_power / baseline.iq_power,
+            "energy": self.iq_energy_pj / baseline.iq_energy_pj,
+            "energy_delay": self.energy_delay / baseline.energy_delay,
+            "energy_delay2": self.energy_delay2 / baseline.energy_delay2,
+        }
+
+
+def compute_metrics(
+    model: EnergyModel,
+    stats: SimulationStats,
+    rest_of_chip: RestOfChipModel,
+) -> EfficiencyMetrics:
+    """Evaluate one run's efficiency metrics under a rest-of-chip model."""
+    events = stats.events.as_dict()
+    iq_energy = model.energy_pj(events)
+    chip_energy = iq_energy + rest_of_chip.energy_pj(
+        stats.cycles, stats.committed_instructions
+    )
+    return EfficiencyMetrics(
+        iq_energy_pj=iq_energy,
+        cycles=stats.cycles,
+        instructions=stats.committed_instructions,
+        chip_energy_pj=chip_energy,
+    )

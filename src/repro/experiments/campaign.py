@@ -1,0 +1,91 @@
+"""Run the full figure campaign and render a text report.
+
+Command line::
+
+    python -m repro.experiments.campaign [--scale N] [--figures 2,3,8]
+
+This is the batch entry point behind the per-figure benchmarks: it
+shares one cached runner across all figures, so the whole campaign
+costs one simulation per (benchmark, scheme) pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List
+
+from repro.experiments import figures as fig_mod
+from repro.experiments.report import render_breakdown, render_series, render_table
+from repro.experiments.runner import ExperimentRunner, RunScale
+
+__all__ = ["run_campaign", "main"]
+
+_SERIES_FIGURES = {2, 3, 4, 6}
+_TABLE_FIGURES = {7, 8, 12, 13, 14, 15}
+_BREAKDOWN_FIGURES = {9, 10, 11}
+ALL_FIGURES = sorted(_SERIES_FIGURES | _TABLE_FIGURES | _BREAKDOWN_FIGURES)
+
+_TITLES = {
+    2: "% IPC loss, IssueFIFO, SPECINT",
+    3: "% IPC loss, IssueFIFO, SPECFP",
+    4: "% IPC loss, LatFIFO, SPECFP",
+    6: "% IPC loss, MixBUFF, SPECFP",
+    7: "IPC SPECINT",
+    8: "IPC SPECFP",
+    9: "Energy breakdown IQ_64_64",
+    10: "Energy breakdown IF_distr",
+    11: "Energy breakdown MB_distr",
+    12: "Normalized power",
+    13: "Normalized energy",
+    14: "Normalized energy x delay",
+    15: "Normalized energy x delay^2",
+}
+
+
+def _generator(number: int) -> Callable[[ExperimentRunner], Dict]:
+    return getattr(fig_mod, f"figure{number}")
+
+
+def run_campaign(
+    runner: ExperimentRunner, figure_numbers: List[int]
+) -> Dict[int, str]:
+    """Generate and render the requested figures; returns text per figure."""
+    rendered: Dict[int, str] = {}
+    for number in figure_numbers:
+        if number not in _TITLES:
+            raise ValueError(f"unknown figure {number}; known: {ALL_FIGURES}")
+        data = _generator(number)(runner)
+        title = f"Figure {number}. {_TITLES[number]}"
+        if number in _SERIES_FIGURES:
+            rendered[number] = render_series(title, data)
+        elif number in _BREAKDOWN_FIGURES:
+            rendered[number] = render_breakdown(title, data)
+        else:
+            rendered[number] = render_table(title, data)
+    return rendered
+
+
+def main(argv: List[str] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=4000,
+                        help="dynamic instructions per run (half is warm-up)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--figures", type=str, default=None,
+                        help="comma-separated figure numbers (default: all)")
+    args = parser.parse_args(argv)
+
+    numbers = (
+        [int(x) for x in args.figures.split(",")] if args.figures else ALL_FIGURES
+    )
+    runner = ExperimentRunner(
+        RunScale(num_instructions=args.scale,
+                 warmup_instructions=args.scale // 2,
+                 seed=args.seed)
+    )
+    for number in numbers:
+        print(run_campaign(runner, [number])[number])
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""The named scheme configurations the paper evaluates."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.config import IssueSchemeConfig
+
+__all__ = [
+    "BASELINE_UNBOUNDED",
+    "IQ_64_64",
+    "IF_DISTR",
+    "MB_DISTR",
+    "fig2_configs",
+    "fig3_configs",
+    "fig4_configs",
+    "fig6_configs",
+]
+
+#: Section 3 reference: issue queue as large as the reorder buffer.
+BASELINE_UNBOUNDED = IssueSchemeConfig(kind="conventional", unbounded=True)
+
+#: Section 4 baseline: 64-entry integer + 64-entry FP conventional queues.
+IQ_64_64 = IssueSchemeConfig(
+    kind="conventional", int_queue_entries=64, fp_queue_entries=64
+)
+
+#: IssueFIFO_8x8_8x16 with distributed functional units (Section 4.2).
+IF_DISTR = IssueSchemeConfig(
+    kind="issuefifo",
+    int_queues=8,
+    int_queue_entries=8,
+    fp_queues=8,
+    fp_queue_entries=16,
+    distributed_fus=True,
+)
+
+#: MixBUFF_8x8_8x16, distributed FUs, at most 8 chains per queue.
+MB_DISTR = IssueSchemeConfig(
+    kind="mixbuff",
+    int_queues=8,
+    int_queue_entries=8,
+    fp_queues=8,
+    fp_queue_entries=16,
+    distributed_fus=True,
+    max_chains_per_queue=8,
+)
+
+_SWEEP: List[Tuple[int, int]] = [(8, 8), (8, 16), (10, 8), (10, 16), (12, 8), (12, 16)]
+
+
+def fig2_configs() -> Dict[str, IssueSchemeConfig]:
+    """IssueFIFO sweeping the *integer* queues (FP fixed at 16x16)."""
+    return {
+        f"IssueFIFO_{q}x{e}_16x16": IssueSchemeConfig(
+            kind="issuefifo",
+            int_queues=q,
+            int_queue_entries=e,
+            fp_queues=16,
+            fp_queue_entries=16,
+        )
+        for q, e in _SWEEP
+    }
+
+
+def _fp_sweep(kind: str) -> Dict[str, IssueSchemeConfig]:
+    """A scheme sweeping the *FP* queues (integer fixed at 16x16)."""
+    pretty = {"issuefifo": "IssueFIFO", "latfifo": "LatFIFO", "mixbuff": "MixBUFF"}[kind]
+    return {
+        f"{pretty}_16x16_{q}x{e}": IssueSchemeConfig(
+            kind=kind,
+            int_queues=16,
+            int_queue_entries=16,
+            fp_queues=q,
+            fp_queue_entries=e,
+        )
+        for q, e in _SWEEP
+    }
+
+
+def fig3_configs() -> Dict[str, IssueSchemeConfig]:
+    """IssueFIFO sweeping the FP queues (Figure 3)."""
+    return _fp_sweep("issuefifo")
+
+
+def fig4_configs() -> Dict[str, IssueSchemeConfig]:
+    """LatFIFO sweeping the FP queues (Figure 4)."""
+    return _fp_sweep("latfifo")
+
+
+def fig6_configs() -> Dict[str, IssueSchemeConfig]:
+    """MixBUFF sweeping the FP queues (Figure 6)."""
+    return _fp_sweep("mixbuff")

@@ -1,0 +1,56 @@
+"""Plain-text rendering of figure data (the harness's 'plots')."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["render_series", "render_table", "render_breakdown"]
+
+
+def render_series(title: str, series: Mapping[str, float], unit: str = "%") -> str:
+    """One label/value pair per line, e.g. the Figure 2–6 loss sweeps."""
+    lines = [title]
+    width = max((len(name) for name in series), default=0)
+    for name, value in series.items():
+        lines.append(f"  {name:<{width}}  {value:7.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_table(
+    title: str,
+    table: Mapping[str, Mapping[str, float]],
+    value_format: str = "{:7.3f}",
+) -> str:
+    """Render nested mapping {row: {column: value}} as an aligned table."""
+    lines = [title]
+    columns = list(table)
+    rows: list = []
+    for column in columns:
+        for row in table[column]:
+            if row not in rows:
+                rows.append(row)
+    row_width = max((len(r) for r in rows), default=0)
+    col_width = max(max((len(c) for c in columns), default=0), 8)
+    header = " " * (row_width + 2) + " ".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = table[column].get(row)
+            if value is None:
+                cells.append(" " * col_width)
+            else:
+                cells.append(f"{value_format.format(value):>{col_width}}")
+        lines.append(f"  {row:<{row_width}}" + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_breakdown(title: str, breakdown: Dict[str, Dict[str, float]]) -> str:
+    """Render Figure 9–11 style component fractions per suite."""
+    lines = [title]
+    for suite, components in breakdown.items():
+        lines.append(f"  {suite}:")
+        ordered = sorted(components.items(), key=lambda kv: -kv[1])
+        for component, fraction in ordered:
+            lines.append(f"    {component:<12} {100 * fraction:5.1f}%")
+    return "\n".join(lines)

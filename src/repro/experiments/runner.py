@@ -1,0 +1,99 @@
+"""Experiment runner: simulate (benchmark, scheme) pairs with caching.
+
+Every figure reuses baseline runs, so results are memoized on
+``(benchmark, scheme_config, num_instructions, seed)``. Traces are also
+cached per ``(benchmark, num_instructions, seed)``.
+
+``RunScale`` controls how big each simulation is; the defaults keep the
+full benchmark harness in the minutes range on a laptop. The paper's
+100M-instruction runs are out of reach for a pure-Python cycle simulator
+— the scale knob is the honest way to trade fidelity for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.config import IssueSchemeConfig, default_config
+from repro.common.stats import SimulationStats
+from repro.core.processor import Processor
+from repro.workloads.generator import generate_trace
+from repro.workloads.prewarm import prewarm
+from repro.workloads.suites import get_profile
+from repro.workloads.trace import Trace
+
+__all__ = ["RunScale", "ExperimentRunner", "DEFAULT_SCALE"]
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Size of one simulation."""
+
+    num_instructions: int = 6000
+    warmup_instructions: int = 3000
+    seed: int = 11
+
+    def validate(self) -> None:
+        if self.num_instructions <= self.warmup_instructions:
+            raise ValueError("need more instructions than warm-up")
+        if self.num_instructions < 500:
+            raise ValueError("runs this short are all warm-up noise")
+
+
+DEFAULT_SCALE = RunScale()
+
+
+class ExperimentRunner:
+    """Runs and caches simulations for the figure generators."""
+
+    def __init__(self, scale: RunScale = DEFAULT_SCALE) -> None:
+        scale.validate()
+        self.scale = scale
+        self._trace_cache: Dict[str, Trace] = {}
+        self._result_cache: Dict[Tuple[str, IssueSchemeConfig], SimulationStats] = {}
+
+    def trace_for(self, benchmark: str) -> Trace:
+        """Trace for a benchmark at this runner's scale (cached)."""
+        if benchmark not in self._trace_cache:
+            self._trace_cache[benchmark] = generate_trace(
+                get_profile(benchmark),
+                self.scale.num_instructions,
+                seed=self.scale.seed,
+            )
+        return self._trace_cache[benchmark]
+
+    def run(self, benchmark: str, scheme: IssueSchemeConfig) -> SimulationStats:
+        """Simulate one (benchmark, scheme) pair (cached)."""
+        key = (benchmark, scheme)
+        if key not in self._result_cache:
+            trace = self.trace_for(benchmark)
+            config = default_config(scheme)
+            processor = Processor(config, trace)
+            prewarm(processor.hierarchy, get_profile(benchmark), self.scale.seed)
+            self._result_cache[key] = processor.run(
+                warmup_instructions=self.scale.warmup_instructions
+            )
+        return self._result_cache[key]
+
+    def ipc(self, benchmark: str, scheme: IssueSchemeConfig) -> float:
+        return self.run(benchmark, scheme).ipc
+
+    def ipc_loss_pct(
+        self, benchmark: str, scheme: IssueSchemeConfig, baseline: IssueSchemeConfig
+    ) -> float:
+        """IPC loss of ``scheme`` relative to ``baseline``, in percent."""
+        base = self.ipc(benchmark, baseline)
+        return 100.0 * (base - self.ipc(benchmark, scheme)) / base
+
+    def average_loss_pct(
+        self,
+        benchmarks: Iterable[str],
+        scheme: IssueSchemeConfig,
+        baseline: IssueSchemeConfig,
+    ) -> float:
+        """Arithmetic-mean IPC loss across a suite, in percent."""
+        losses: List[float] = [
+            self.ipc_loss_pct(b, scheme, baseline) for b in benchmarks
+        ]
+        return sum(losses) / len(losses)

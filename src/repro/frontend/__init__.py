@@ -1,0 +1,15 @@
+"""Front-end substrate: branch prediction and instruction fetch."""
+
+from repro.frontend.branch_predictor import (
+    BranchTargetBuffer,
+    HybridBranchPredictor,
+    SaturatingCounter,
+)
+from repro.frontend.fetch import FetchEngine
+
+__all__ = [
+    "BranchTargetBuffer",
+    "FetchEngine",
+    "HybridBranchPredictor",
+    "SaturatingCounter",
+]

@@ -1,0 +1,130 @@
+"""Fetch engine: I-cache, branch prediction, fetch queue.
+
+The engine pulls instructions from the trace into a 64-entry fetch queue,
+up to ``fetch_width`` per cycle, stopping at taken branches (one taken
+branch per fetch group, the conventional model). Because the simulator is
+trace-driven there is no wrong path: a mispredicted branch *blocks* fetch
+until the branch resolves in the back end plus a redirect penalty, which
+charges the same number of lost fetch cycles as wrong-path execution
+would.
+
+Predictor tables are trained at fetch time. Training at commit would be
+more faithful but changes accuracy by well under a percent for the
+predictor sizes of Table 1 while complicating recovery; SimpleScalar's
+in-order front end makes the same simplification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.common.config import ProcessorConfig
+from repro.frontend.branch_predictor import HybridBranchPredictor
+from repro.isa.instructions import Instruction
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.trace import Trace
+
+__all__ = ["FetchEngine"]
+
+
+class FetchEngine:
+    """Trace-driven front end."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        hierarchy: MemoryHierarchy,
+        predictor: Optional[HybridBranchPredictor] = None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.predictor = predictor or HybridBranchPredictor(config.branch)
+        self.queue: Deque[Instruction] = deque()
+        self._position = 0
+        self._icache_ready_cycle = 0
+        self._blocking_branch_seq: Optional[int] = None
+        self._current_line: Optional[int] = None
+        self.fetched_instructions = 0
+        self.blocked_cycles = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the entire trace has been fetched."""
+        return self._position >= len(self.trace)
+
+    @property
+    def blocked_on_branch(self) -> Optional[int]:
+        """Sequence number of the mispredicted branch fetch waits on."""
+        return self._blocking_branch_seq
+
+    def resolve_branch(self, seq: int, cycle: int) -> None:
+        """Back-end notification that branch ``seq`` resolved at ``cycle``.
+
+        Fetch resumes after the configured redirect penalty.
+        """
+        if self._blocking_branch_seq == seq:
+            self._blocking_branch_seq = None
+            self._icache_ready_cycle = max(
+                self._icache_ready_cycle,
+                cycle + 1 + self.config.mispredict_redirect_penalty,
+            )
+
+    def flush_after(self, seq: int) -> None:
+        """Drop queued instructions younger than ``seq``.
+
+        Only used by tests and by recovery paths that squash the fetch
+        queue; in the normal trace-driven flow mispredicted branches stop
+        fetch before younger instructions enter the queue.
+        """
+        while self.queue and self.queue[-1].seq > seq:
+            self.queue.pop()
+            self._position -= 1
+
+    def fetch_cycle(self, cycle: int) -> int:
+        """Fetch up to ``fetch_width`` instructions; returns how many."""
+        if self._blocking_branch_seq is not None or cycle < self._icache_ready_cycle:
+            self.blocked_cycles += 1
+            return 0
+        fetched = 0
+        line_bytes = self.config.icache.line_bytes
+        while (
+            fetched < self.config.fetch_width
+            and len(self.queue) < self.config.fetch_queue_entries
+            and not self.exhausted
+        ):
+            inst = self.trace[self._position]
+            line = inst.pc // line_bytes
+            if line != self._current_line:
+                latency = self.hierarchy.instruction_fetch_latency(inst.pc)
+                self._current_line = line
+                if latency > self.config.icache.hit_latency:
+                    # Miss: charge the fill latency and retry the same
+                    # instruction when the line arrives.
+                    self._icache_ready_cycle = cycle + latency
+                    self._current_line = line
+                    break
+            self.queue.append(inst)
+            self._position += 1
+            fetched += 1
+            self.fetched_instructions += 1
+            if inst.op.is_branch:
+                correct = self.predictor.predict_and_update(inst.pc, bool(inst.taken), inst.target)
+                if not correct:
+                    self._blocking_branch_seq = inst.seq
+                    break
+                if inst.taken:
+                    # A correctly predicted taken branch ends the fetch
+                    # group and redirects the line tracker.
+                    self._current_line = None
+                    break
+        return fetched
+
+    def pop_instructions(self, max_count: int) -> List[Instruction]:
+        """Hand up to ``max_count`` queued instructions to decode."""
+        out: List[Instruction] = []
+        while self.queue and len(out) < max_count:
+            out.append(self.queue.popleft())
+        return out

@@ -1,0 +1,135 @@
+"""Operation classes of the simulated ISA.
+
+The simulator is trace-driven, so it never interprets instruction
+semantics; it only needs each instruction's *operation class* to know
+which functional unit executes it and with what latency. The classes
+mirror the SimpleScalar/Alpha classes the paper's framework uses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.config import FunctionalUnitConfig
+
+__all__ = ["OpClass", "FuType", "fu_type_for", "latency_for", "is_pipelined"]
+
+
+class OpClass(enum.Enum):
+    """Operation class of a dynamic instruction."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    FP_LOAD = "fp_load"
+    FP_STORE = "fp_store"
+    BRANCH = "branch"
+
+    @property
+    def is_fp(self) -> bool:
+        """True if the instruction lives in the FP side of the machine.
+
+        FP loads/stores compute their address on the integer side (as in
+        real machines) but their *destination* is an FP register; the
+        paper steers instructions by the cluster of the queue that holds
+        them, so we classify loads/stores by where they are dispatched:
+        address computation is an integer operation, hence all loads,
+        stores and branches are integer-side instructions here.
+        """
+        return self in (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores of either register class."""
+        return self in (OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE)
+
+    @property
+    def is_load(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.FP_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (OpClass.STORE, OpClass.FP_STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def writes_fp_register(self) -> bool:
+        """True if the destination register (if any) is an FP register."""
+        return self in (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV, OpClass.FP_LOAD)
+
+
+class FuType(enum.Enum):
+    """Functional-unit categories of Table 1."""
+
+    INT_ALU = "int_alu"
+    INT_MULDIV = "int_muldiv"
+    FP_ALU = "fp_alu"
+    FP_MULDIV = "fp_muldiv"
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (FuType.FP_ALU, FuType.FP_MULDIV)
+
+
+_FU_FOR_OP = {
+    OpClass.INT_ALU: FuType.INT_ALU,
+    OpClass.INT_MUL: FuType.INT_MULDIV,
+    OpClass.INT_DIV: FuType.INT_MULDIV,
+    OpClass.FP_ALU: FuType.FP_ALU,
+    OpClass.FP_MUL: FuType.FP_MULDIV,
+    OpClass.FP_DIV: FuType.FP_MULDIV,
+    # Memory ops and branches use an integer ALU for address / target
+    # computation.
+    OpClass.LOAD: FuType.INT_ALU,
+    OpClass.STORE: FuType.INT_ALU,
+    OpClass.FP_LOAD: FuType.INT_ALU,
+    OpClass.FP_STORE: FuType.INT_ALU,
+    OpClass.BRANCH: FuType.INT_ALU,
+}
+
+
+def fu_type_for(op: OpClass) -> FuType:
+    """Functional-unit type that executes instructions of class ``op``."""
+    return _FU_FOR_OP[op]
+
+
+def latency_for(op: OpClass, fus: FunctionalUnitConfig) -> int:
+    """Execution latency of ``op`` on the configured functional units.
+
+    For loads this is the *address computation* latency only; the cache
+    access is added by the memory system. Branches resolve in one ALU
+    cycle. Stores take the address latency (data movement happens at
+    commit and is off the critical path).
+    """
+    if op is OpClass.INT_ALU or op is OpClass.BRANCH:
+        return fus.int_alu_latency
+    if op is OpClass.INT_MUL:
+        return fus.int_mul_latency
+    if op is OpClass.INT_DIV:
+        return fus.int_div_latency
+    if op is OpClass.FP_ALU:
+        return fus.fp_alu_latency
+    if op is OpClass.FP_MUL:
+        return fus.fp_mul_latency
+    if op is OpClass.FP_DIV:
+        return fus.fp_div_latency
+    if op.is_memory:
+        return fus.address_latency
+    raise ValueError(f"unknown op class {op!r}")
+
+
+def is_pipelined(op: OpClass) -> bool:
+    """Whether the functional unit is pipelined for this class.
+
+    Divides occupy their mul/div unit for the whole operation; everything
+    else accepts a new instruction every cycle.
+    """
+    return op not in (OpClass.INT_DIV, OpClass.FP_DIV)

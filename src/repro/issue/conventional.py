@@ -1,0 +1,101 @@
+"""Conventional CAM/RAM issue queue (the paper's baseline).
+
+One out-of-order queue per side (integer / FP), as in the P6 family: any
+instruction whose operands are ready may issue, oldest first, up to the
+issue width. Readiness in real hardware comes from CAM tag broadcast
+("wakeup"); the simulator gets identical timing from the scoreboard and
+*accounts* the CAM activity for the energy model, assuming the
+Folegnani-González optimization (only unready operand slots are woken)
+and the 8-bank implementation whose empty banks are disabled.
+
+With ``unbounded=True`` each side holds as many instructions as the ROB,
+the Section 3 reference configuration; the Section 4 baseline is the
+bounded ``IQ_64_64``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import ProcessorConfig
+from repro.common.stats import StatCounters
+from repro.core.uop import InFlight
+from repro.issue.base import IssueContext, IssueScheme
+
+__all__ = ["ConventionalIssueQueue"]
+
+
+class ConventionalIssueQueue(IssueScheme):
+    """CAM/RAM baseline, bounded or unbounded."""
+
+    name = "conventional"
+
+    def __init__(self, config: ProcessorConfig, events: StatCounters) -> None:
+        super().__init__(config, events)
+        scheme = config.scheme
+        if scheme.unbounded:
+            self._int_capacity = config.rob_entries
+            self._fp_capacity = config.rob_entries
+        else:
+            self._int_capacity = scheme.int_queue_entries
+            self._fp_capacity = scheme.fp_queue_entries
+        # Entries stay in age order because dispatch is in order and we
+        # only ever append.
+        self._int_queue: List[InFlight] = []
+        self._fp_queue: List[InFlight] = []
+
+    # -- dispatch ----------------------------------------------------
+    def try_dispatch(self, uop: InFlight, cycle: int) -> bool:
+        queue, capacity = (
+            (self._fp_queue, self._fp_capacity)
+            if uop.op.is_fp
+            else (self._int_queue, self._int_capacity)
+        )
+        if len(queue) >= capacity:
+            return False
+        queue.append(uop)
+        self.events.add("iq_buff_write")
+        return True
+
+    # -- issue -------------------------------------------------------
+    def select_and_issue(self, ctx: IssueContext) -> List[InFlight]:
+        issued: List[InFlight] = []
+        for queue in (self._int_queue, self._fp_queue):
+            if not queue:
+                continue
+            self.events.add("iq_select_cycles")
+            taken_indices: List[int] = []
+            for i, uop in enumerate(queue):
+                if ctx.issue(uop):
+                    taken_indices.append(i)
+                    issued.append(uop)
+            for i in reversed(taken_indices):
+                queue.pop(i)
+            self.events.add("iq_buff_read", len(taken_indices))
+        return issued
+
+    # -- energy ------------------------------------------------------
+    def on_result_broadcast(self, cycle: int, broadcasts: int) -> None:
+        """Each completing result broadcasts its tag to every *unready*
+        source operand slot (ready slots and empty banks are disabled)."""
+        if broadcasts == 0:
+            return
+        self.events.add("iq_wakeup_broadcasts", broadcasts)
+        unready = 0
+        for queue in (self._int_queue, self._fp_queue):
+            for uop in queue:
+                for phys in uop.src_phys:
+                    if not self._scoreboard.is_ready(phys, cycle):
+                        unready += 1
+        self.events.add("iq_wakeup_comparisons", broadcasts * unready)
+
+    def bind_scoreboard(self, scoreboard) -> None:
+        """Give the scheme scoreboard access for wakeup accounting."""
+        self._scoreboard = scoreboard
+
+    # -- introspection -----------------------------------------------
+    def occupancy(self) -> int:
+        return len(self._int_queue) + len(self._fp_queue)
+
+    def side_occupancy(self, is_fp: bool) -> int:
+        return len(self._fp_queue if is_fp else self._int_queue)

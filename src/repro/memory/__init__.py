@@ -1,0 +1,6 @@
+"""Memory hierarchy substrate: caches and main-memory timing."""
+
+from repro.memory.cache import AccessResult, Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["AccessResult", "Cache", "MemoryHierarchy"]

@@ -1,0 +1,104 @@
+"""Set-associative cache with true-LRU replacement.
+
+Only timing matters to the simulator, so lines carry tags but no data.
+The cache counts accesses/hits/misses for the statistics and energy
+accounting, and reports the latency of each access given a backing-store
+latency supplied by the :class:`~repro.memory.hierarchy.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import CacheConfig
+
+__all__ = ["Cache", "AccessResult"]
+
+
+class AccessResult:
+    """Outcome of one cache access."""
+
+    __slots__ = ("hit", "latency")
+
+    def __init__(self, hit: bool, latency: int) -> None:
+        self.hit = hit
+        self.latency = latency
+
+    def __repr__(self) -> str:
+        return f"AccessResult(hit={self.hit}, latency={self.latency})"
+
+
+class Cache:
+    """One cache level.
+
+    LRU is modelled with a per-set ordered list (most recent last); a
+    32 KB 4-way cache has 256 sets of 4 ways, so the lists stay tiny and
+    the pure-Python overhead is acceptable.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        config.validate()
+        self.config = config
+        self._sets: List[List[int]] = [[] for __ in range(config.num_sets)]
+        self._set_mask = config.num_sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int) -> tuple:
+        line = addr >> self._line_shift
+        return line & self._set_mask, line >> self.config.num_sets.bit_length() - 1
+
+    def lookup(self, addr: int, miss_latency: int) -> AccessResult:
+        """Access ``addr``; on a miss the line is filled.
+
+        ``miss_latency`` is the additional latency the backing store
+        charges for the fill (the hierarchy computes it). The returned
+        latency includes this cache's hit latency in both cases, matching
+        the usual "lookup, then go down on miss" timing.
+        """
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        self.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return AccessResult(True, self.config.hit_latency)
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+        return AccessResult(False, self.config.hit_latency + miss_latency)
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (no LRU update, no counters)."""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0 if never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_statistics(self) -> None:
+        """Zero the counters without touching cache contents."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Invalidate every line (contents only; statistics kept)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def contents_summary(self) -> Dict[str, int]:
+        """Occupancy snapshot, used by tests."""
+        lines = sum(len(ways) for ways in self._sets)
+        return {
+            "lines_valid": lines,
+            "lines_total": self.config.num_sets * self.config.associativity,
+        }

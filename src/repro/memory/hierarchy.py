@@ -1,0 +1,72 @@
+"""The L1I / L1D / unified-L2 / main-memory hierarchy of Table 1."""
+
+from __future__ import annotations
+
+from repro.common.config import ProcessorConfig
+from repro.common.stats import StatCounters
+from repro.memory.cache import Cache
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """Owns the caches and answers latency queries from the pipeline.
+
+    The hierarchy is intentionally simple — blocking fills, no MSHR
+    modelling — because the paper's schemes interact with memory only
+    through *when a load's value becomes available*. Port contention on
+    the L1D (4 R/W ports) is enforced by the pipeline's issue logic, not
+    here.
+    """
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config
+        self.icache = Cache(config.icache)
+        self.dcache = Cache(config.dcache)
+        self.l2 = Cache(config.l2cache)
+        self._memory_latency = config.memory.access_latency(config.l2cache.line_bytes)
+
+    def _l2_fill_latency(self, addr: int) -> int:
+        """Latency the L2 charges for a fill request from an L1 miss."""
+        result = self.l2.lookup(addr, self._memory_latency)
+        return result.latency
+
+    def instruction_fetch_latency(self, pc: int) -> int:
+        """Cycles to fetch the line containing ``pc``."""
+        miss_latency = 0 if self.icache.probe(pc) else None
+        if miss_latency is None:
+            # Compute the L2 (and possibly memory) latency lazily so the
+            # L2 is only touched on a real L1 miss.
+            result = self.icache.lookup(pc, self._l2_fill_latency(pc))
+        else:
+            result = self.icache.lookup(pc, 0)
+        return result.latency
+
+    def data_access_latency(self, addr: int, is_store: bool = False) -> int:
+        """Cycles for a load/store to reach its data.
+
+        Stores are modelled as write-allocate: they take the same path as
+        loads for timing purposes, though the pipeline retires them at
+        commit so their latency rarely matters.
+        """
+        if self.dcache.probe(addr):
+            result = self.dcache.lookup(addr, 0)
+        else:
+            result = self.dcache.lookup(addr, self._l2_fill_latency(addr))
+        return result.latency
+
+    def dcache_hit_latency(self) -> int:
+        """The L1D hit latency (the load latency assumed at dispatch)."""
+        return self.config.dcache.hit_latency
+
+    def collect_events(self, events: StatCounters) -> None:
+        """Export access counts for the energy model."""
+        events.add("icache_accesses", self.icache.accesses)
+        events.add("icache_misses", self.icache.misses)
+        events.add("dcache_accesses", self.dcache.accesses)
+        events.add("dcache_misses", self.dcache.misses)
+        events.add("l2_accesses", self.l2.accesses)
+        events.add("l2_misses", self.l2.misses)
+        self.icache.reset_statistics()
+        self.dcache.reset_statistics()
+        self.l2.reset_statistics()

@@ -1,0 +1,43 @@
+"""Synthetic workload generation: profiles, traces, SPEC2000 stand-ins."""
+
+from repro.workloads.generator import (
+    StaticInstruction,
+    StaticProgram,
+    build_static_program,
+    generate_trace,
+)
+from repro.workloads.profiles import (
+    BranchBehavior,
+    MemoryBehavior,
+    OperationMix,
+    WorkloadProfile,
+)
+from repro.workloads.suites import (
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    all_profiles,
+    get_profile,
+    specfp2000,
+    specint2000,
+)
+from repro.workloads.prewarm import prewarm
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "BranchBehavior",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "MemoryBehavior",
+    "OperationMix",
+    "StaticInstruction",
+    "StaticProgram",
+    "Trace",
+    "WorkloadProfile",
+    "all_profiles",
+    "build_static_program",
+    "generate_trace",
+    "get_profile",
+    "prewarm",
+    "specfp2000",
+    "specint2000",
+]

@@ -1,0 +1,441 @@
+"""Synthetic trace generation.
+
+The generator builds a *static program* from a profile — one or more loop
+bodies with a fixed dependence structure — and then unrolls it into a
+dynamic trace. Generating a static program first (rather than sampling
+each dynamic instruction independently) gives the trace the properties
+that matter to the paper's schemes:
+
+* a repeating PC stream, so the I-cache and branch predictor behave like
+  they would on a real loop nest;
+* *persistent* dependence chains: chain *i*'s instruction in iteration
+  *k+1* depends on chain *i*'s last value from iteration *k*, so the DDG
+  width is exactly ``profile.num_chains`` in steady state;
+* static branches with stable per-branch behaviour, so predictability is
+  a program property rather than noise.
+
+Register convention (architectural):
+
+* ``r0`` — loop counter (rewritten every iteration),
+* ``r4...`` — integer chain registers, then induction/scratch registers,
+* ``f0...`` — FP chain registers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.isa.instructions import Instruction, RegisterRef
+from repro.isa.opcodes import OpClass
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.trace import Trace
+
+__all__ = ["generate_trace", "StaticInstruction", "StaticProgram", "build_static_program"]
+
+_LOOP_COUNTER = RegisterRef(False, 0)
+_FIRST_INT_CHAIN_REG = 4
+_INSTRUCTION_BYTES = 4
+
+
+@dataclass
+class StaticInstruction:
+    """One slot of a static loop body.
+
+    ``chain`` is the dependence chain this instruction belongs to (or
+    ``None`` for overhead instructions). Memory slots carry an address
+    pattern (a cyclic stream or random accesses within the working set).
+    Branch slots carry a behaviour kind: ``periodic`` (deterministic
+    taken pattern of the given period), ``biased`` (independent draws at
+    ``taken_probability``), ``hard`` (independent draws at 0.5) or
+    ``loopback`` (taken except every ``period``-th execution).
+    """
+
+    op: OpClass
+    dest: Optional[RegisterRef]
+    srcs: Tuple[RegisterRef, ...]
+    chain: Optional[int] = None
+    addr_offset: int = 0
+    addr_stride: int = 0
+    addr_random: bool = False
+    branch_kind: Optional[str] = None
+    taken_probability: float = 0.5
+    period: int = 0
+    is_loop_back: bool = False
+
+
+@dataclass
+class StaticProgram:
+    """A set of loop bodies the dynamic trace cycles through."""
+
+    bodies: List[List[StaticInstruction]]
+    code_base: int = 0x40_0000
+    data_base: int = 0x1000_0000
+
+    def body_pc(self, body_index: int, slot: int) -> int:
+        """PC of a given slot; bodies are laid out back to back."""
+        offset = sum(len(b) for b in self.bodies[:body_index]) + slot
+        return self.code_base + offset * _INSTRUCTION_BYTES
+
+
+def _computation_ops(profile: WorkloadProfile, rng: random.Random, count: int) -> List[OpClass]:
+    """Draw ``count`` computation op classes according to the mix."""
+    mix = profile.mix
+    classes = [
+        (OpClass.INT_ALU, mix.int_alu),
+        (OpClass.INT_MUL, mix.int_mul),
+        (OpClass.INT_DIV, mix.int_div),
+        (OpClass.FP_ALU, mix.fp_alu),
+        (OpClass.FP_MUL, mix.fp_mul),
+        (OpClass.FP_DIV, mix.fp_div),
+    ]
+    ops = [op for op, weight in classes if weight > 0]
+    weights = [weight for __, weight in classes if weight > 0]
+    return rng.choices(ops, weights=weights, k=count)
+
+
+def _chain_register(profile: WorkloadProfile, chain: int) -> RegisterRef:
+    """Architectural register that carries chain ``chain``'s live value.
+
+    FP-suite chains live in FP registers; integer-suite chains in integer
+    registers starting above the reserved overhead registers.
+    """
+    if profile.suite == "fp":
+        return RegisterRef(True, chain)
+    return RegisterRef(False, _FIRST_INT_CHAIN_REG + chain)
+
+
+def _int_scratch_register(profile: WorkloadProfile, index: int, num_int_regs: int) -> RegisterRef:
+    """Integer registers used by FP profiles for overhead integer work."""
+    base = _FIRST_INT_CHAIN_REG
+    if profile.suite == "int":
+        base = _FIRST_INT_CHAIN_REG + profile.num_chains
+    span = max(1, num_int_regs - base)
+    return RegisterRef(False, base + index % span)
+
+
+def build_static_program(
+    profile: WorkloadProfile,
+    seed: int,
+    num_int_regs: int = 32,
+    num_fp_regs: int = 32,
+) -> StaticProgram:
+    """Build the static loop bodies for a profile.
+
+    Deterministic in (profile, seed). Raises
+    :class:`~repro.common.errors.ConfigurationError` if the profile needs
+    more chain registers than the architecture has.
+    """
+    profile.validate()
+    if profile.suite == "fp" and profile.num_chains > num_fp_regs:
+        raise ConfigurationError(
+            f"{profile.name}: {profile.num_chains} chains exceed {num_fp_regs} FP registers"
+        )
+    if profile.suite == "int" and _FIRST_INT_CHAIN_REG + profile.num_chains > num_int_regs:
+        raise ConfigurationError(
+            f"{profile.name}: {profile.num_chains} chains exceed the integer registers"
+        )
+    rng = make_rng(seed, f"static-program:{profile.name}")
+    bodies = [
+        _build_body(profile, rng, body_index, num_int_regs)
+        for body_index in range(profile.code_footprint_loops)
+    ]
+    return StaticProgram(bodies=bodies)
+
+
+def _build_body(
+    profile: WorkloadProfile,
+    rng: random.Random,
+    body_index: int,
+    num_int_regs: int,
+) -> List[StaticInstruction]:
+    """Build one loop body of ``profile.loop_body_size`` slots."""
+    mix = profile.mix
+    n = profile.loop_body_size
+
+    # Slot budget: the last slot is always the loop-back branch.
+    n_branches = max(1, round(mix.branch * n))
+    n_loads = round(mix.load * n)
+    n_stores = round(mix.store * n)
+    n_compute = n - n_branches - n_loads - n_stores
+    if n_compute < profile.num_chains:
+        raise ConfigurationError(
+            f"{profile.name}: loop body too small for {profile.num_chains} chains"
+        )
+
+    # Interleave categories deterministically: spread branches evenly,
+    # scatter memory ops, fill the rest with computation.
+    kinds: List[str] = ["compute"] * n
+    if n_branches > 1:
+        spacing = n // n_branches
+        for b in range(n_branches - 1):
+            kinds[min(n - 2, (b + 1) * spacing)] = "branch"
+    kinds[n - 1] = "loopback"
+    free = [i for i, k in enumerate(kinds) if k == "compute"]
+    rng.shuffle(free)
+    for i in free[:n_loads]:
+        kinds[i] = "load"
+    for i in free[n_loads : n_loads + n_stores]:
+        kinds[i] = "store"
+
+    compute_ops = _computation_ops(profile, rng, sum(1 for k in kinds if k == "compute"))
+    body: List[StaticInstruction] = []
+    chain_cursor = 0
+    compute_cursor = 0
+    scratch_cursor = 0
+    load_cursor = 0
+    fp_mem = profile.suite == "fp"
+    # Chains below the carried threshold keep their value across
+    # iterations; the rest restart fresh at their first definition in the
+    # body (DOALL-style iteration parallelism).
+    carried_chains = set(range(round(profile.num_chains * profile.loop_carried_fraction)))
+    chain_defined: set = set()
+    chain_def_counts: Dict[int, int] = {}
+
+    def chain_breaks(chain: int) -> bool:
+        """Does this definition start a fresh segment of ``chain``?"""
+        count = chain_def_counts.get(chain, 0)
+        chain_def_counts[chain] = count + 1
+        if chain not in chain_defined and chain not in carried_chains:
+            return True  # first definition of an iteration-local chain
+        return count > 0 and count % profile.chain_segment_ops == 0
+
+    for slot, kind in enumerate(kinds):
+        if kind == "compute":
+            op = compute_ops[compute_cursor]
+            compute_cursor += 1
+            if op.is_fp != (profile.suite == "fp"):
+                # Overhead op of the other side (e.g. integer address
+                # arithmetic in an FP program, or eon's FP work in an
+                # integer program): give it a scratch register chain of
+                # its own register class.
+                if op.is_fp:
+                    dest = RegisterRef(True, scratch_cursor % 8)
+                else:
+                    dest = _int_scratch_register(profile, scratch_cursor, num_int_regs)
+                scratch_cursor += 1
+                body.append(StaticInstruction(op=op, dest=dest, srcs=(dest,)))
+                continue
+            chain = chain_cursor % profile.num_chains
+            chain_cursor += 1
+            reg = _chain_register(profile, chain)
+            fresh_start = chain_breaks(chain)
+            chain_defined.add(chain)
+            if fresh_start:
+                # First definition of an iteration-local chain: reads no
+                # prior value (constant / induction-derived start).
+                srcs: Tuple[RegisterRef, ...] = ()
+            else:
+                srcs = (reg,)
+                if profile.num_chains > 1 and rng.random() < profile.cross_dep_fraction:
+                    other = rng.randrange(profile.num_chains - 1)
+                    if other >= chain:
+                        other += 1
+                    srcs = (reg, _chain_register(profile, other))
+            body.append(StaticInstruction(op=op, dest=reg, srcs=srcs, chain=chain))
+        elif kind == "load":
+            op = OpClass.FP_LOAD if fp_mem else OpClass.LOAD
+            feeds_chain = rng.random() < profile.load_feeds_chain_fraction
+            if fp_mem:
+                # FP (array) codes: the address comes from an integer
+                # induction register that an overhead integer op updates
+                # — the load issues early and its (possibly missing)
+                # value reaches the FP chain later.
+                addr_src = _int_scratch_register(profile, load_cursor, num_int_regs)
+            else:
+                # Integer codes: pointer-style access — the address is
+                # the chain's own latest value, so the load latency sits
+                # inside the dependence chain.
+                addr_src = None  # filled below once the chain is known
+            if feeds_chain:
+                chain = chain_cursor % profile.num_chains
+                chain_cursor += 1
+                dest = _chain_register(profile, chain)
+                fresh_start = chain_breaks(chain)
+                chain_defined.add(chain)
+            else:
+                chain = None
+                fresh_start = False
+                if fp_mem:
+                    dest = RegisterRef(True, profile.num_chains % 32)
+                else:
+                    dest = _int_scratch_register(profile, scratch_cursor, num_int_regs)
+                    scratch_cursor += 1
+            if addr_src is None:
+                # Self/chain-addressed integer load (pointer chase). An
+                # iteration-local chain starting at a load reads no prior
+                # value — its address comes from a constant/global.
+                addr_src = None if fresh_start else dest
+            load_cursor += 1
+            body.append(
+                StaticInstruction(
+                    op=op,
+                    dest=dest,
+                    srcs=(addr_src,) if addr_src is not None else (),
+                    chain=chain,
+                    addr_offset=rng.randrange(0, profile.memory.working_set_bytes, 8),
+                    addr_stride=profile.memory.stride_bytes,
+                    addr_random=rng.random() < profile.memory.random_fraction,
+                )
+            )
+        elif kind == "store":
+            op = OpClass.FP_STORE if fp_mem else OpClass.STORE
+            chain = rng.randrange(profile.num_chains)
+            data_reg = _chain_register(profile, chain)
+            body.append(
+                StaticInstruction(
+                    op=op,
+                    dest=None,
+                    # srcs[0] is the data (trace convention), srcs[1:] the
+                    # address operands; the address derives from the loop
+                    # counter, which is ready early each iteration.
+                    srcs=(data_reg, _LOOP_COUNTER),
+                    chain=chain,
+                    addr_offset=rng.randrange(0, profile.memory.working_set_bytes, 8),
+                    addr_stride=profile.memory.stride_bytes,
+                    addr_random=rng.random() < profile.memory.random_fraction,
+                )
+            )
+        elif kind == "branch":
+            behavior = profile.branches
+            draw = rng.random()
+            if draw < behavior.hard_branch_fraction:
+                # Data-dependent branch: mildly biased random outcome, so
+                # a predictor gets it wrong ~40% of the time (matching
+                # the hard branches of real integer codes).
+                branch_kind = "hard"
+                prob = 0.6
+                period = 0
+            elif rng.random() < behavior.periodic_fraction:
+                branch_kind = "periodic"
+                prob = 0.0
+                period = rng.choice((4, 8))
+            else:
+                branch_kind = "biased"
+                prob = behavior.bias if rng.random() < 0.5 else 1.0 - behavior.bias
+                period = 0
+            # The branch condition reads a recently computed integer
+            # value — a chain register for integer codes, an induction/
+            # scratch register for FP codes (FP condition codes move to
+            # the integer side) — so branches distribute across queues
+            # like the compares that feed them would.
+            if profile.suite == "int":
+                src = _chain_register(profile, rng.randrange(profile.num_chains))
+            else:
+                src = _int_scratch_register(profile, rng.randrange(32), num_int_regs)
+            body.append(
+                StaticInstruction(
+                    op=OpClass.BRANCH,
+                    dest=None,
+                    srcs=(src,),
+                    branch_kind=branch_kind,
+                    taken_probability=prob,
+                    period=period,
+                )
+            )
+        else:  # loopback
+            body.append(
+                StaticInstruction(
+                    op=OpClass.BRANCH,
+                    dest=None,
+                    srcs=(_LOOP_COUNTER,),
+                    branch_kind="loopback",
+                    period=64,
+                    is_loop_back=True,
+                )
+            )
+    # Every body starts with the loop-counter update so r0 is live.
+    body[0] = StaticInstruction(op=OpClass.INT_ALU, dest=_LOOP_COUNTER, srcs=(_LOOP_COUNTER,))
+    return body
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    seed: int = 1,
+    num_int_regs: int = 32,
+    num_fp_regs: int = 32,
+) -> Trace:
+    """Unroll the profile's static program into a dynamic trace.
+
+    The trace cycles through the loop bodies; each completed pass over a
+    body counts as one iteration of that loop, advancing the streaming
+    address patterns. Deterministic in (profile, num_instructions, seed).
+    """
+    if num_instructions < 1:
+        raise ConfigurationError("num_instructions must be >= 1")
+    program = build_static_program(profile, seed, num_int_regs, num_fp_regs)
+    rng = make_rng(seed, f"dynamic-trace:{profile.name}")
+
+    instructions: List[Instruction] = []
+    body_index = 0
+    iteration = [0] * len(program.bodies)
+    exec_counts: Dict[Tuple[int, int], int] = {}
+    ws = profile.memory.working_set_bytes
+    stream_region = min(profile.memory.stream_region_bytes, ws)
+    random_region = min(profile.memory.random_region_bytes, ws)
+    seq = 0
+    while seq < num_instructions:
+        body = program.bodies[body_index]
+        it = iteration[body_index]
+        for slot, static in enumerate(body):
+            if seq >= num_instructions:
+                break
+            pc = program.body_pc(body_index, slot)
+            mem_addr = None
+            taken = None
+            target = None
+            if static.op.is_memory:
+                if static.addr_random:
+                    mem_addr = program.data_base + rng.randrange(0, random_region, 4)
+                else:
+                    # Cyclic stream: each static memory slot walks its own
+                    # small region so the steady-state footprint is cache
+                    # resident (compulsory misses happen once, during
+                    # warm-up, like a real loop nest re-traversing its
+                    # arrays).
+                    offset = (it * static.addr_stride) % stream_region
+                    mem_addr = program.data_base + static.addr_offset + offset
+            if static.op.is_branch:
+                count = exec_counts.get((body_index, slot), 0)
+                exec_counts[(body_index, slot)] = count + 1
+                if static.branch_kind == "periodic":
+                    taken = count % static.period != static.period - 1
+                elif static.branch_kind == "loopback":
+                    taken = count % static.period != static.period - 1
+                else:  # biased or hard
+                    taken = rng.random() < static.taken_probability
+                if static.is_loop_back:
+                    target = program.body_pc(body_index, 0)
+                else:
+                    target = pc + 8 * _INSTRUCTION_BYTES
+            instructions.append(
+                Instruction(
+                    seq=seq,
+                    pc=pc,
+                    op=static.op,
+                    srcs=static.srcs,
+                    dest=static.dest,
+                    mem_addr=mem_addr,
+                    taken=taken,
+                    target=target,
+                )
+            )
+            seq += 1
+        iteration[body_index] += 1
+        # Move to the next loop body occasionally (models phase changes
+        # between loop nests for programs with a larger code footprint).
+        if len(program.bodies) > 1 and iteration[body_index] % 4 == 0:
+            body_index = (body_index + 1) % len(program.bodies)
+
+    trace = Trace(
+        name=profile.name,
+        instructions=instructions,
+        profile_name=profile.name,
+        seed=seed,
+    )
+    trace.validate(num_int_regs, num_fp_regs)
+    return trace

@@ -1,0 +1,241 @@
+"""Workload profiles: the knobs that characterize a synthetic benchmark.
+
+The paper's effects are driven by a handful of program properties:
+
+* **dependence-graph width** (``num_chains``) — integer programs have
+  narrow DDGs that fit in a few FIFOs; FP programs have wide DDGs,
+* **operation/latency mix** — FP programs use long-latency operations,
+* **branch behaviour** — density and predictability,
+* **memory behaviour** — working-set size and access randomness, which
+  determine the cache miss rate and hence how often issue-time estimates
+  go wrong.
+
+A :class:`WorkloadProfile` captures exactly these knobs; the generator in
+:mod:`repro.workloads.generator` turns a profile into a dynamic
+instruction trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["OperationMix", "MemoryBehavior", "BranchBehavior", "WorkloadProfile"]
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Fractions of the dynamic instruction stream per category.
+
+    ``load + store + branch`` plus the computation fractions must sum to
+    1 (within rounding). For an integer profile the FP fractions are
+    typically zero and vice versa, though mixed programs (e.g. *eon*) set
+    both.
+    """
+
+    int_alu: float = 0.0
+    int_mul: float = 0.0
+    int_div: float = 0.0
+    fp_alu: float = 0.0
+    fp_mul: float = 0.0
+    fp_div: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+
+    def total(self) -> float:
+        return (
+            self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_alu
+            + self.fp_mul
+            + self.fp_div
+            + self.load
+            + self.store
+            + self.branch
+        )
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of the stream that executes on the FP side."""
+        return self.fp_alu + self.fp_mul + self.fp_div
+
+    def validate(self) -> None:
+        values = (
+            self.int_alu,
+            self.int_mul,
+            self.int_div,
+            self.fp_alu,
+            self.fp_mul,
+            self.fp_div,
+            self.load,
+            self.store,
+            self.branch,
+        )
+        if any(v < 0 for v in values):
+            raise ConfigurationError("operation fractions must be non-negative")
+        if abs(self.total() - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"operation fractions must sum to 1 (got {self.total():.6f})"
+            )
+        computation = self.total() - self.load - self.store - self.branch
+        if computation <= 0:
+            raise ConfigurationError("profile needs some computation instructions")
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Memory-access pattern of the profile.
+
+    ``working_set_bytes`` is the size of the data region; accesses are
+    streaming (sequential strided) with probability
+    ``1 - random_fraction`` and uniformly random within the working set
+    otherwise. A working set larger than L1 (32 KB) with a significant
+    random fraction produces L1 misses; larger than L2 (512 KB) produces
+    memory accesses.
+    """
+
+    working_set_bytes: int = 16 * 1024
+    random_fraction: float = 0.1
+    stride_bytes: int = 8
+    # Streams wrap within a small region so their steady-state footprint
+    # is cache resident: compulsory misses happen once, during warm-up.
+    # (Simulated runs are short; a region that never wraps would turn
+    # every streaming access into a compulsory miss.)
+    stream_region_bytes: int = 256
+    # Random accesses are drawn from a bounded sub-region of the working
+    # set. Its size relative to L1 (32 KB) and L2 (512 KB) controls the
+    # *recurrent* miss rate: ~64 KB gives L1 misses that hit in L2;
+    # multi-MB regions give genuine memory-bound behaviour (mcf, art).
+    random_region_bytes: int = 64 * 1024
+
+    def validate(self) -> None:
+        if self.working_set_bytes < 64:
+            raise ConfigurationError("working set unrealistically small")
+        if not 0.0 <= self.random_fraction <= 1.0:
+            raise ConfigurationError("random_fraction must be in [0, 1]")
+        if self.stride_bytes < 1:
+            raise ConfigurationError("stride must be >= 1 byte")
+        if self.stream_region_bytes < 64:
+            raise ConfigurationError("stream region unrealistically small")
+        if self.stream_region_bytes > self.working_set_bytes:
+            raise ConfigurationError("stream region larger than the working set")
+        if self.random_region_bytes < 64:
+            raise ConfigurationError("random region unrealistically small")
+        # A random region larger than the working set is clamped to the
+        # working set by the generator, so it needs no validation here.
+
+
+@dataclass(frozen=True)
+class BranchBehavior:
+    """Branch predictability of the profile.
+
+    Static conditional branches come in three kinds:
+
+    * *periodic* — a repeating taken/not-taken pattern (e.g. the guard of
+      an inner loop): local/global history predictors learn these almost
+      perfectly;
+    * *biased* — taken with a fixed probability ``bias`` (or
+      ``1 - bias``), independently per execution: predicted at the bias
+      rate;
+    * *hard* — data-dependent, taken with probability ~0.5: essentially
+      unpredictable.
+
+    ``hard_branch_fraction`` of the static branches are hard;
+    ``periodic_fraction`` of the remainder are periodic; the rest are
+    biased.
+    """
+
+    hard_branch_fraction: float = 0.15
+    periodic_fraction: float = 0.6
+    bias: float = 0.92
+
+    def validate(self) -> None:
+        if not 0.0 <= self.hard_branch_fraction <= 1.0:
+            raise ConfigurationError("hard_branch_fraction must be in [0, 1]")
+        if not 0.0 <= self.periodic_fraction <= 1.0:
+            raise ConfigurationError("periodic_fraction must be in [0, 1]")
+        if not 0.5 <= self.bias <= 1.0:
+            raise ConfigurationError("bias must be in [0.5, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Full characterization of one synthetic benchmark.
+
+    ``num_chains`` is the width of the data-dependence graph: the number
+    of independent dependence chains interleaved in the loop body.
+    ``cross_dep_fraction`` is the probability that a computation
+    instruction also reads a value from a *different* chain, which makes
+    the DDG a graph rather than disjoint paths.
+    ``loop_body_size`` is the static size of the main loop in
+    instructions; it determines the I-cache footprint together with
+    ``code_footprint_loops`` (number of distinct loop bodies the program
+    cycles through).
+    ``load_feeds_chain_fraction`` is the probability that a load's result
+    enters a dependence chain (so a cache miss stalls that chain).
+    """
+
+    name: str
+    suite: str  # "int" or "fp"
+    num_chains: int
+    mix: OperationMix
+    memory: MemoryBehavior = field(default_factory=MemoryBehavior)
+    branches: BranchBehavior = field(default_factory=BranchBehavior)
+    loop_body_size: int = 128
+    code_footprint_loops: int = 1
+    cross_dep_fraction: float = 0.15
+    load_feeds_chain_fraction: float = 0.6
+    # Fraction of chains whose value carries across loop iterations
+    # (loop-carried dependences). The remaining chains restart fresh each
+    # iteration, giving the loop DOALL-style iteration-level parallelism
+    # — and, for FP codes, a steady supply of newly-born chains that all
+    # want a queue of their own, which is precisely what pressures the
+    # dependence-based FIFO schemes.
+    loop_carried_fraction: float = 0.5
+    # Maximum dependence-chain length inside one iteration: after this
+    # many definitions a chain restarts fresh (a new expression tree).
+    # Real code rarely strings more than a handful of operations into one
+    # serial expression; short segments also mean many simultaneously
+    # live chain starts, the load the paper's FP queues must absorb.
+    chain_segment_ops: int = 8
+    description: str = ""
+
+    def validate(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ConfigurationError(f"{self.name}: suite must be 'int' or 'fp'")
+        if self.num_chains < 1:
+            raise ConfigurationError(f"{self.name}: need at least one chain")
+        if self.loop_body_size < 8:
+            raise ConfigurationError(f"{self.name}: loop body too small")
+        if self.code_footprint_loops < 1:
+            raise ConfigurationError(f"{self.name}: need at least one loop body")
+        if not 0.0 <= self.cross_dep_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: cross_dep_fraction out of range")
+        if not 0.0 <= self.load_feeds_chain_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: load_feeds_chain_fraction out of range")
+        if not 0.0 <= self.loop_carried_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: loop_carried_fraction out of range")
+        if self.chain_segment_ops < 1:
+            raise ConfigurationError(f"{self.name}: chain segments need at least one op")
+        self.mix.validate()
+        self.memory.validate()
+        self.branches.validate()
+        if self.suite == "fp" and self.mix.fp_fraction == 0.0:
+            raise ConfigurationError(f"{self.name}: FP profile without FP operations")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary used by reports and tests."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "num_chains": self.num_chains,
+            "fp_fraction": self.mix.fp_fraction,
+            "load_fraction": self.mix.load,
+            "branch_fraction": self.mix.branch,
+            "working_set_bytes": self.memory.working_set_bytes,
+            "loop_body_size": self.loop_body_size,
+        }

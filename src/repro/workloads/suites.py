@@ -1,0 +1,431 @@
+"""Named benchmark profiles standing in for SPEC2000.
+
+The paper evaluates on SPEC2000 (12 integer + 14 FP programs). The suite
+itself is proprietary, so each program is replaced by a synthetic profile
+that reproduces its *relevant* characteristics: dependence-graph width,
+operation mix, branch behaviour and memory behaviour. The knob values are
+drawn from the broadly known characterization of these programs (e.g.
+*mcf* is memory bound with a huge random working set; *swim*/*mgrid* are
+wide regular streaming FP loops; *crafty* is branchy with a small working
+set). Absolute IPC will not match the paper's Alpha testbed, but the
+*relative* behaviour of the issue schemes — which is what every figure
+reports — is driven by exactly these knobs.
+
+Calibration notes (see EXPERIMENTS.md): integer profiles use narrow
+dependence graphs (5–8 chains) with short expression segments, so they
+fit in 8–12 FIFO queues with modest loss; FP profiles use wide graphs
+(10–22 chains) with long-latency operations and enough recurrent L1
+misses that dependence-based FIFO placement runs out of queues, which is
+the effect the paper's MixBUFF is designed to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import UnknownBenchmarkError
+from repro.workloads.profiles import (
+    BranchBehavior,
+    MemoryBehavior,
+    OperationMix,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "INT_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "specint2000",
+    "specfp2000",
+    "get_profile",
+    "all_profiles",
+]
+
+KB = 1024
+
+
+def _int_mix(load=0.22, store=0.10, branch=0.14, mul=0.02, div=0.002, fp=0.0, fp_mul=0.0):
+    """Typical integer-program mix; remainder is single-cycle ALU work."""
+    alu = 1.0 - load - store - branch - mul - div - fp - fp_mul
+    return OperationMix(
+        int_alu=alu,
+        int_mul=mul,
+        int_div=div,
+        fp_alu=fp,
+        fp_mul=fp_mul,
+        load=load,
+        store=store,
+        branch=branch,
+    )
+
+
+def _fp_mix(load=0.26, store=0.08, branch=0.04, fp_alu=0.28, fp_mul=0.22, fp_div=0.01, int_mul=0.0):
+    """Typical FP-program mix; remainder is integer overhead (addressing)."""
+    int_alu = 1.0 - load - store - branch - fp_alu - fp_mul - fp_div - int_mul
+    return OperationMix(
+        int_alu=int_alu,
+        int_mul=int_mul,
+        fp_alu=fp_alu,
+        fp_mul=fp_mul,
+        fp_div=fp_div,
+        load=load,
+        store=store,
+        branch=branch,
+    )
+
+
+def _int_memory(ws_kb: int, random_fraction: float, random_region_kb: int = 64):
+    return MemoryBehavior(
+        working_set_bytes=ws_kb * KB,
+        random_fraction=random_fraction,
+        random_region_bytes=random_region_kb * KB,
+    )
+
+
+def _fp_memory(ws_kb: int, random_fraction: float, random_region_kb: int = 128, stride: int = 8):
+    return MemoryBehavior(
+        working_set_bytes=ws_kb * KB,
+        random_fraction=random_fraction,
+        stride_bytes=stride,
+        random_region_bytes=random_region_kb * KB,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SPECint2000 stand-ins: narrow dependence graphs, short-latency operations.
+# ---------------------------------------------------------------------------
+
+_INT_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="bzip2",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.24, store=0.12, branch=0.12),
+        memory=_int_memory(96, 0.10),
+        branches=BranchBehavior(hard_branch_fraction=0.08, bias=0.94),
+        loop_body_size=96,
+        description="compression; moderate working set, data-dependent branches",
+    ),
+    WorkloadProfile(
+        name="crafty",
+        suite="int",
+        num_chains=7,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.26, store=0.07, branch=0.17),
+        memory=_int_memory(24, 0.05, 24),
+        branches=BranchBehavior(hard_branch_fraction=0.08, bias=0.95),
+        loop_body_size=160,
+        code_footprint_loops=3,
+        description="chess; very branchy, cache-resident",
+    ),
+    WorkloadProfile(
+        name="eon",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.22, store=0.10, branch=0.11, fp=0.10, fp_mul=0.06),
+        memory=_int_memory(16, 0.03, 16),
+        branches=BranchBehavior(hard_branch_fraction=0.05, bias=0.96),
+        loop_body_size=128,
+        description="ray tracing; the one SPECint program with significant FP work",
+    ),
+    WorkloadProfile(
+        name="gap",
+        suite="int",
+        num_chains=5,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.24, store=0.09, branch=0.13, mul=0.04),
+        memory=_int_memory(128, 0.10),
+        branches=BranchBehavior(hard_branch_fraction=0.07, bias=0.94),
+        loop_body_size=112,
+        description="group theory; pointer-heavy interpreter",
+    ),
+    WorkloadProfile(
+        name="gcc",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=4,
+        mix=_int_mix(load=0.25, store=0.11, branch=0.16),
+        memory=_int_memory(256, 0.12, 96),
+        branches=BranchBehavior(hard_branch_fraction=0.11, bias=0.93),
+        loop_body_size=192,
+        code_footprint_loops=4,
+        description="compiler; large code footprint, branchy, irregular",
+    ),
+    WorkloadProfile(
+        name="gzip",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.22, store=0.10, branch=0.13),
+        memory=_int_memory(48, 0.06, 48),
+        branches=BranchBehavior(hard_branch_fraction=0.08, bias=0.94),
+        loop_body_size=80,
+        description="compression; small hot loop",
+    ),
+    WorkloadProfile(
+        name="mcf",
+        suite="int",
+        num_chains=4,
+        chain_segment_ops=6,
+        mix=_int_mix(load=0.30, store=0.08, branch=0.15),
+        memory=_int_memory(2048, 0.55, 1024),
+        branches=BranchBehavior(hard_branch_fraction=0.14, bias=0.91),
+        loop_body_size=64,
+        load_feeds_chain_fraction=0.85,
+        description="network simplex; pointer chasing, memory bound",
+    ),
+    WorkloadProfile(
+        name="parser",
+        suite="int",
+        num_chains=5,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.25, store=0.09, branch=0.16),
+        memory=_int_memory(96, 0.15),
+        branches=BranchBehavior(hard_branch_fraction=0.12, bias=0.92),
+        loop_body_size=96,
+        description="NL parser; irregular control and data",
+    ),
+    WorkloadProfile(
+        name="perlbmk",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.24, store=0.11, branch=0.15),
+        memory=_int_memory(64, 0.08),
+        branches=BranchBehavior(hard_branch_fraction=0.07, bias=0.95),
+        loop_body_size=144,
+        code_footprint_loops=3,
+        description="perl interpreter; big code footprint",
+    ),
+    WorkloadProfile(
+        name="twolf",
+        suite="int",
+        num_chains=7,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.24, store=0.08, branch=0.13, mul=0.03),
+        memory=_int_memory(192, 0.20, 96),
+        branches=BranchBehavior(hard_branch_fraction=0.10, bias=0.93),
+        loop_body_size=112,
+        description="place and route; scattered accesses",
+    ),
+    WorkloadProfile(
+        name="vortex",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.27, store=0.13, branch=0.14),
+        memory=_int_memory(128, 0.10),
+        branches=BranchBehavior(hard_branch_fraction=0.05, bias=0.96),
+        loop_body_size=176,
+        code_footprint_loops=3,
+        description="OO database; store heavy, predictable branches",
+    ),
+    WorkloadProfile(
+        name="vpr",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=5,
+        mix=_int_mix(load=0.23, store=0.08, branch=0.13, fp=0.04),
+        memory=_int_memory(128, 0.15),
+        branches=BranchBehavior(hard_branch_fraction=0.09, bias=0.93),
+        loop_body_size=104,
+        description="FPGA place and route; some FP cost functions",
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# SPECfp2000 stand-ins: wide dependence graphs, long-latency operations.
+# ---------------------------------------------------------------------------
+
+_FP_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="ammp",
+        suite="fp",
+        num_chains=14,
+        chain_segment_ops=9,
+        mix=_fp_mix(load=0.28, fp_alu=0.26, fp_mul=0.20, fp_div=0.015),
+        memory=_fp_memory(384, 0.40, 160),
+        branches=BranchBehavior(hard_branch_fraction=0.06, bias=0.95),
+        loop_body_size=224,
+        description="molecular dynamics; memory bound, divides",
+    ),
+    WorkloadProfile(
+        name="applu",
+        suite="fp",
+        num_chains=18,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.26, fp_alu=0.30, fp_mul=0.24, fp_div=0.005),
+        memory=_fp_memory(448, 0.30, 128),
+        branches=BranchBehavior(hard_branch_fraction=0.03, bias=0.98),
+        loop_body_size=288,
+        description="PDE solver; wide regular loops, streaming",
+    ),
+    WorkloadProfile(
+        name="apsi",
+        suite="fp",
+        num_chains=16,
+        chain_segment_ops=9,
+        mix=_fp_mix(load=0.25, fp_alu=0.28, fp_mul=0.22, fp_div=0.01),
+        memory=_fp_memory(320, 0.35, 128),
+        branches=BranchBehavior(hard_branch_fraction=0.04, bias=0.97),
+        loop_body_size=256,
+        description="meteorology; mixed regular/irregular",
+    ),
+    WorkloadProfile(
+        name="art",
+        suite="fp",
+        num_chains=12,
+        chain_segment_ops=8,
+        mix=_fp_mix(load=0.32, fp_alu=0.30, fp_mul=0.18, branch=0.05),
+        memory=_fp_memory(1536, 0.50, 768),
+        branches=BranchBehavior(hard_branch_fraction=0.08, bias=0.94),
+        loop_body_size=160,
+        load_feeds_chain_fraction=0.7,
+        description="neural network; severely memory bound",
+    ),
+    WorkloadProfile(
+        name="equake",
+        suite="fp",
+        num_chains=13,
+        chain_segment_ops=9,
+        mix=_fp_mix(load=0.30, fp_alu=0.27, fp_mul=0.20),
+        memory=_fp_memory(512, 0.40, 192),
+        branches=BranchBehavior(hard_branch_fraction=0.05, bias=0.96),
+        loop_body_size=192,
+        description="earthquake simulation; sparse matrix-vector",
+    ),
+    WorkloadProfile(
+        name="facerec",
+        suite="fp",
+        num_chains=15,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.24, fp_alu=0.29, fp_mul=0.24),
+        memory=_fp_memory(256, 0.30, 128),
+        branches=BranchBehavior(hard_branch_fraction=0.04, bias=0.97),
+        loop_body_size=224,
+        description="face recognition; FFT-like kernels",
+    ),
+    WorkloadProfile(
+        name="fma3d",
+        suite="fp",
+        num_chains=16,
+        chain_segment_ops=9,
+        mix=_fp_mix(load=0.27, fp_alu=0.27, fp_mul=0.21, fp_div=0.012),
+        memory=_fp_memory(384, 0.35, 160),
+        branches=BranchBehavior(hard_branch_fraction=0.05, bias=0.95),
+        loop_body_size=272,
+        code_footprint_loops=2,
+        description="crash simulation; large code, wide loops",
+    ),
+    WorkloadProfile(
+        name="galgel",
+        suite="fp",
+        num_chains=20,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.24, fp_alu=0.31, fp_mul=0.26, branch=0.03),
+        memory=_fp_memory(256, 0.35, 128),
+        branches=BranchBehavior(hard_branch_fraction=0.03, bias=0.98),
+        loop_body_size=256,
+        description="fluid dynamics; very wide regular DDG",
+    ),
+    WorkloadProfile(
+        name="lucas",
+        suite="fp",
+        num_chains=22,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.23, fp_alu=0.32, fp_mul=0.27, branch=0.02),
+        memory=_fp_memory(448, 0.25, 128, stride=16),
+        branches=BranchBehavior(hard_branch_fraction=0.02, bias=0.99),
+        loop_body_size=288,
+        description="primality testing; FFT, widest DDG",
+    ),
+    WorkloadProfile(
+        name="mesa",
+        suite="fp",
+        num_chains=10,
+        chain_segment_ops=8,
+        mix=_fp_mix(load=0.25, fp_alu=0.25, fp_mul=0.20, branch=0.08, fp_div=0.008),
+        memory=_fp_memory(160, 0.25, 96),
+        branches=BranchBehavior(hard_branch_fraction=0.06, bias=0.95),
+        loop_body_size=176,
+        description="3-D graphics; branchier than most FP codes",
+    ),
+    WorkloadProfile(
+        name="mgrid",
+        suite="fp",
+        num_chains=18,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.30, store=0.06, fp_alu=0.30, fp_mul=0.22, branch=0.02),
+        memory=_fp_memory(512, 0.30, 160),
+        branches=BranchBehavior(hard_branch_fraction=0.02, bias=0.99),
+        loop_body_size=256,
+        description="multigrid solver; streaming stencils",
+    ),
+    WorkloadProfile(
+        name="sixtrack",
+        suite="fp",
+        num_chains=17,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.22, fp_alu=0.30, fp_mul=0.26, fp_div=0.01),
+        memory=_fp_memory(160, 0.20, 96),
+        branches=BranchBehavior(hard_branch_fraction=0.03, bias=0.97),
+        loop_body_size=240,
+        description="particle tracking; compute bound, high ILP",
+    ),
+    WorkloadProfile(
+        name="swim",
+        suite="fp",
+        num_chains=20,
+        chain_segment_ops=10,
+        mix=_fp_mix(load=0.30, store=0.09, fp_alu=0.29, fp_mul=0.21, branch=0.02),
+        memory=_fp_memory(1024, 0.45, 192),
+        branches=BranchBehavior(hard_branch_fraction=0.02, bias=0.99),
+        loop_body_size=272,
+        description="shallow water; wide streaming stencils",
+    ),
+    WorkloadProfile(
+        name="wupwise",
+        suite="fp",
+        num_chains=14,
+        chain_segment_ops=9,
+        mix=_fp_mix(load=0.25, fp_alu=0.28, fp_mul=0.25),
+        memory=_fp_memory(320, 0.30, 128),
+        branches=BranchBehavior(hard_branch_fraction=0.03, bias=0.97),
+        loop_body_size=224,
+        description="lattice QCD; matrix kernels",
+    ),
+]
+
+INT_BENCHMARKS: List[str] = [p.name for p in _INT_PROFILES]
+FP_BENCHMARKS: List[str] = [p.name for p in _FP_PROFILES]
+
+_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in _INT_PROFILES + _FP_PROFILES}
+
+
+def specint2000() -> List[WorkloadProfile]:
+    """The 12 SPECint2000 stand-in profiles, in the paper's order."""
+    return list(_INT_PROFILES)
+
+
+def specfp2000() -> List[WorkloadProfile]:
+    """The 14 SPECfp2000 stand-in profiles, in the paper's order."""
+    return list(_FP_PROFILES)
+
+
+def all_profiles() -> List[WorkloadProfile]:
+    """All 26 profiles, integer suite first."""
+    return _INT_PROFILES + _FP_PROFILES
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by benchmark name.
+
+    Raises :class:`UnknownBenchmarkError` with the available names if the
+    benchmark does not exist.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise UnknownBenchmarkError(f"unknown benchmark {name!r}; known: {known}") from None

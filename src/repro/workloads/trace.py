@@ -1,0 +1,60 @@
+"""Trace container: a validated dynamic instruction stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.errors import TraceError
+from repro.isa.instructions import Instruction, validate_instruction
+from repro.isa.opcodes import OpClass
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction stream plus provenance metadata.
+
+    Sequence numbers must be dense and start at zero — the pipeline uses
+    them as indices into per-instruction side tables.
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    profile_name: Optional[str] = None
+    seed: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    def validate(self, num_int_regs: int = 32, num_fp_regs: int = 32) -> None:
+        """Check the whole stream; raises :class:`TraceError` on problems."""
+        for expect_seq, inst in enumerate(self.instructions):
+            if inst.seq != expect_seq:
+                raise TraceError(
+                    f"{self.name}: sequence numbers not dense at #{expect_seq} "
+                    f"(found {inst.seq})"
+                )
+            validate_instruction(inst, num_int_regs, num_fp_regs)
+
+    def op_histogram(self) -> dict:
+        """Counts of each op class; useful for checking generated mixes."""
+        histogram: dict = {}
+        for inst in self.instructions:
+            histogram[inst.op] = histogram.get(inst.op, 0) + 1
+        return histogram
+
+    def fraction(self, ops: Sequence[OpClass]) -> float:
+        """Fraction of the stream whose op class is in ``ops``."""
+        if not self.instructions:
+            return 0.0
+        wanted = set(ops)
+        hits = sum(1 for inst in self.instructions if inst.op in wanted)
+        return hits / len(self.instructions)

@@ -1,0 +1,104 @@
+"""Unit tests for the hybrid branch predictor and BTB."""
+
+import pytest
+
+from repro.common.config import BranchPredictorConfig
+from repro.frontend.branch_predictor import (
+    BranchTargetBuffer,
+    HybridBranchPredictor,
+    SaturatingCounter,
+)
+
+
+class TestSaturatingCounter:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(3)
+        counter.update(True)
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(0)
+        counter.update(False)
+        assert counter.value == 0
+
+    def test_hysteresis(self):
+        counter = SaturatingCounter(3)
+        counter.update(False)
+        assert counter.taken  # one miss does not flip a strong state
+        counter.update(False)
+        assert not counter.taken
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(4)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(4, 2)  # 2 sets, 2 ways
+        stride = 4 * btb.num_sets  # pcs mapping to the same set
+        pcs = [0x1000, 0x1000 + stride, 0x1000 + 2 * stride]
+        btb.update(pcs[0], 1)
+        btb.update(pcs[1], 2)
+        btb.lookup(pcs[0])  # refresh
+        btb.update(pcs[2], 3)  # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+
+
+class TestHybridPredictor:
+    def predictor(self):
+        return HybridBranchPredictor(BranchPredictorConfig())
+
+    def test_learns_always_taken(self):
+        pred = self.predictor()
+        for __ in range(10):
+            pred.predict_and_update(0x1000, True, 0x2000)
+        before = pred.mispredictions
+        for __ in range(50):
+            pred.predict_and_update(0x1000, True, 0x2000)
+        assert pred.mispredictions == before
+
+    def test_learns_alternating_pattern_via_history(self):
+        pred = self.predictor()
+        outcomes = [True, False] * 200
+        wrong = 0
+        for i, taken in enumerate(outcomes):
+            ok = pred.predict_and_update(0x1000, taken, 0x2000 if taken else None)
+            if i >= 100 and not ok:
+                wrong += 1
+        assert wrong <= 5  # gshare captures the period-2 pattern
+
+    def test_target_mispredict_counted(self):
+        pred = self.predictor()
+        for __ in range(10):
+            pred.predict_and_update(0x1000, True, 0x2000)
+        # Same direction, new target: direction right, target wrong once.
+        before = pred.target_mispredictions
+        pred.predict_and_update(0x1000, True, 0x3000)
+        assert pred.target_mispredictions == before + 1
+
+    def test_accuracy_range(self):
+        pred = self.predictor()
+        for i in range(100):
+            pred.predict_and_update(0x1000 + 4 * (i % 7), i % 3 != 0, 0x2000)
+        assert 0.0 <= pred.accuracy <= 1.0
+        assert pred.predictions == 100
+
+    def test_not_taken_branch_never_target_mispredicts(self):
+        pred = self.predictor()
+        for __ in range(20):
+            pred.predict_and_update(0x1000, False, None)
+        assert pred.target_mispredictions == 0

@@ -1,0 +1,36 @@
+"""Tests for the batch campaign entry point."""
+
+import pytest
+
+from repro.experiments import figures as fig_mod
+from repro.experiments.campaign import ALL_FIGURES, run_campaign
+from repro.experiments.runner import ExperimentRunner, RunScale
+
+
+@pytest.fixture()
+def small(monkeypatch):
+    monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+    monkeypatch.setattr(fig_mod, "FP_BENCHMARKS", ["mesa"])
+    return ExperimentRunner(RunScale(1200, 600, 7))
+
+
+class TestCampaign:
+    def test_all_figures_listed(self):
+        assert ALL_FIGURES == [2, 3, 4, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+
+    def test_unknown_figure_rejected(self, small):
+        with pytest.raises(ValueError):
+            run_campaign(small, [5])  # Figure 5 is a worked example, not data
+
+    def test_series_figure_renders(self, small):
+        text = run_campaign(small, [2])[2]
+        assert "Figure 2" in text
+        assert "IssueFIFO_8x8_16x16" in text
+
+    def test_table_figure_renders(self, small):
+        text = run_campaign(small, [8])[8]
+        assert "HARMEAN" in text
+
+    def test_breakdown_figure_renders(self, small):
+        text = run_campaign(small, [9])[9]
+        assert "wakeup" in text

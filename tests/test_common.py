@@ -1,0 +1,102 @@
+"""Unit tests for counters, stats and seeded RNG streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.rng import derive_seed, make_rng
+from repro.common.stats import SimulationStats, StatCounters, harmonic_mean
+
+
+class TestStatCounters:
+    def test_missing_counter_reads_zero(self):
+        assert StatCounters().get("nope") == 0
+
+    def test_add_and_get(self):
+        c = StatCounters()
+        c.add("x")
+        c.add("x", 4)
+        assert c.get("x") == 5
+
+    def test_zero_add_does_not_create_counter(self):
+        c = StatCounters()
+        c.add("x", 0)
+        assert len(c) == 0
+
+    def test_merge_sums_counters(self):
+        a, b = StatCounters(), StatCounters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_iteration_is_sorted(self):
+        c = StatCounters()
+        c.add("z")
+        c.add("a")
+        assert [name for name, __ in c] == ["a", "z"]
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 100))))
+    def test_counts_match_manual_sum(self, updates):
+        c = StatCounters()
+        expected = {}
+        for name, amount in updates:
+            c.add(name, amount)
+            expected[name] = expected.get(name, 0) + amount
+        for name, total in expected.items():
+            assert c.get(name) == total
+
+
+class TestSimulationStats:
+    def test_ipc(self):
+        stats = SimulationStats(cycles=100, committed_instructions=250)
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimulationStats().ipc == 0.0
+
+    def test_mispredict_rate(self):
+        stats = SimulationStats(branch_predictions=50, branch_mispredictions=5)
+        assert stats.mispredict_rate == pytest.approx(0.1)
+
+    def test_summary_keys(self):
+        summary = SimulationStats(cycles=10, committed_instructions=5).summary()
+        assert set(summary) >= {"cycles", "instructions", "ipc"}
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_single_value(self):
+        assert harmonic_mean([3.5]) == pytest.approx(3.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_labels_give_different_seeds(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_master_seeds_give_different_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_make_rng_streams_reproducible(self):
+        a = make_rng(7, "stream")
+        b = make_rng(7, "stream")
+        assert [a.random() for __ in range(5)] == [b.random() for __ in range(5)]

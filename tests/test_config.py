@@ -1,0 +1,173 @@
+"""Unit tests for the configuration objects (Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    FunctionalUnitConfig,
+    IssueSchemeConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    default_config,
+    scheme_name,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_table1_dcache_geometry(self):
+        cache = CacheConfig("L1D", 32 * 1024, 4, 32, 2, ports=4)
+        cache.validate()
+        assert cache.num_sets == 256
+
+    def test_table1_icache_geometry(self):
+        cache = CacheConfig("L1I", 64 * 1024, 2, 32, 1)
+        cache.validate()
+        assert cache.num_sets == 1024
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 32 * 1024, 4, 24, 2).validate()
+
+    def test_rejects_size_not_multiple_of_way_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 10_000, 4, 32, 2).validate()
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 32 * 1024, 4, 32, 0).validate()
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", -1, 4, 32, 2).validate()
+
+
+class TestMemoryConfig:
+    def test_single_chunk_latency(self):
+        mem = MemoryConfig()
+        assert mem.access_latency(64) == 100
+
+    def test_multi_chunk_latency_matches_table1(self):
+        mem = MemoryConfig()
+        # Two chunks: first at 100, second 2 cycles later.
+        assert mem.access_latency(128) == 102
+
+    def test_partial_chunk_rounds_up(self):
+        mem = MemoryConfig()
+        assert mem.access_latency(65) == 102
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig().access_latency(0)
+
+
+class TestBranchPredictorConfig:
+    def test_table1_defaults_validate(self):
+        BranchPredictorConfig().validate()
+
+    def test_rejects_non_power_of_two_tables(self):
+        with pytest.raises(ConfigurationError):
+            BranchPredictorConfig(gshare_entries=1000).validate()
+
+    def test_rejects_btb_not_divisible_by_ways(self):
+        with pytest.raises(ConfigurationError):
+            BranchPredictorConfig(btb_entries=2048, btb_associativity=3).validate()
+
+
+class TestFunctionalUnitConfig:
+    def test_table1_latencies(self):
+        fus = FunctionalUnitConfig()
+        assert fus.int_mul_latency == 3
+        assert fus.int_div_latency == 20
+        assert fus.fp_mul_latency == 4
+        assert fus.fp_div_latency == 12
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitConfig(fp_alu_count=0).validate()
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitConfig(fp_alu_latency=0).validate()
+
+
+class TestIssueSchemeConfig:
+    def test_conventional_must_be_single_queue(self):
+        with pytest.raises(ConfigurationError):
+            IssueSchemeConfig(kind="conventional", int_queues=2).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IssueSchemeConfig(kind="magic").validate()
+
+    def test_chain_cap_only_for_mixbuff(self):
+        with pytest.raises(ConfigurationError):
+            IssueSchemeConfig(
+                kind="issuefifo", int_queues=8, fp_queues=8, max_chains_per_queue=8
+            ).validate()
+
+    def test_distributed_needs_multiple_queues(self):
+        with pytest.raises(ConfigurationError):
+            IssueSchemeConfig(kind="conventional", distributed_fus=True).validate()
+
+    def test_mixbuff_chain_cap_accepted(self):
+        IssueSchemeConfig(
+            kind="mixbuff", int_queues=8, fp_queues=8, max_chains_per_queue=8
+        ).validate()
+
+
+class TestSchemeName:
+    def test_paper_naming_convention(self):
+        cfg = IssueSchemeConfig(
+            kind="issuefifo",
+            int_queues=8,
+            int_queue_entries=8,
+            fp_queues=16,
+            fp_queue_entries=16,
+        )
+        assert scheme_name(cfg) == "IssueFIFO_8x8_16x16"
+
+    def test_distributed_suffix(self):
+        cfg = IssueSchemeConfig(
+            kind="mixbuff",
+            int_queues=8,
+            int_queue_entries=8,
+            fp_queues=8,
+            fp_queue_entries=16,
+            distributed_fus=True,
+        )
+        assert scheme_name(cfg) == "MixBUFF_8x8_8x16_distr"
+
+    def test_baseline_names(self):
+        assert scheme_name(IssueSchemeConfig(kind="conventional", unbounded=True)) == "IQ_unbounded"
+        assert scheme_name(IssueSchemeConfig(kind="conventional")) == "IQ_64_64"
+
+
+class TestProcessorConfig:
+    def test_table1_defaults(self):
+        cfg = default_config()
+        assert cfg.fetch_width == 8
+        assert cfg.rob_entries == 256
+        assert cfg.int_phys_regs == 160
+        assert cfg.fp_phys_regs == 160
+        assert cfg.fetch_queue_entries == 64
+        assert cfg.technology_um == pytest.approx(0.10)
+
+    def test_with_scheme_replaces_only_scheme(self):
+        scheme = IssueSchemeConfig(kind="issuefifo", int_queues=8, fp_queues=8)
+        cfg = default_config().with_scheme(scheme)
+        assert cfg.scheme is scheme
+        assert cfg.rob_entries == 256
+
+    def test_rejects_too_few_physical_registers(self):
+        cfg = dataclasses.replace(ProcessorConfig(), int_phys_regs=32)
+        with pytest.raises(ConfigurationError):
+            cfg.validate()
+
+    def test_rejects_tiny_fetch_queue(self):
+        cfg = dataclasses.replace(ProcessorConfig(), fetch_queue_entries=4)
+        with pytest.raises(ConfigurationError):
+            cfg.validate()

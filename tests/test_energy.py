@@ -1,0 +1,183 @@
+"""Unit and property tests for the energy models and metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import IssueSchemeConfig, default_config
+from repro.common.errors import ConfigurationError
+from repro.common.stats import SimulationStats, StatCounters
+from repro.energy.breakdown import (
+    COMPONENT_OF_EVENT,
+    breakdown_fractions,
+    energy_breakdown,
+)
+from repro.energy.cacti import (
+    TECH_100NM,
+    Technology,
+    cam_broadcast_energy,
+    cam_compare_energy,
+    mux_drive_energy,
+    ram_access_energy,
+    select_energy,
+)
+from repro.energy.metrics import (
+    IQ_POWER_SHARE,
+    calibrate_rest_of_chip,
+    compute_metrics,
+)
+from repro.energy.model import EnergyModel
+
+
+class TestCactiModel:
+    def test_more_entries_cost_more(self):
+        assert ram_access_energy(64, 32) > ram_access_energy(8, 32)
+
+    def test_wider_entries_cost_more(self):
+        assert ram_access_energy(64, 128) > ram_access_energy(64, 32)
+
+    def test_ports_cost_more(self):
+        assert ram_access_energy(64, 32, ports=4) > ram_access_energy(64, 32, ports=1)
+
+    def test_cam_broadcast_scales_with_entries(self):
+        assert cam_broadcast_energy(64, 8) > cam_broadcast_energy(8, 8)
+
+    def test_technology_scaling(self):
+        small = Technology(feature_um=0.07)
+        assert ram_access_energy(64, 32, tech=small) < ram_access_energy(64, 32)
+
+    def test_select_scales_with_entries(self):
+        assert select_energy(64) > select_energy(8)
+
+    def test_mux_scales_with_inputs(self):
+        assert mux_drive_energy(8, 64) > mux_drive_energy(1, 64)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            ram_access_energy(0, 32)
+        with pytest.raises(ConfigurationError):
+            cam_compare_energy(0)
+        with pytest.raises(ConfigurationError):
+            mux_drive_energy(0, 64)
+
+    @given(
+        entries=st.integers(1, 512),
+        width=st.integers(1, 256),
+        ports=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_energy_always_positive(self, entries, width, ports):
+        assert ram_access_energy(entries, width, ports) > 0
+
+    @given(entries=st.integers(1, 256), extra=st.integers(1, 256))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_entries(self, entries, extra):
+        assert ram_access_energy(entries + extra, 64) > ram_access_energy(entries, 64)
+
+
+IQ64 = IssueSchemeConfig(kind="conventional")
+IFD = IssueSchemeConfig(kind="issuefifo", int_queues=8, int_queue_entries=8,
+                        fp_queues=8, fp_queue_entries=16, distributed_fus=True)
+MBD = IssueSchemeConfig(kind="mixbuff", int_queues=8, int_queue_entries=8,
+                        fp_queues=8, fp_queue_entries=16, distributed_fus=True,
+                        max_chains_per_queue=8)
+
+
+class TestEnergyModel:
+    def test_conventional_has_wakeup_weights(self):
+        model = EnergyModel(default_config(IQ64))
+        assert "iq_wakeup_comparisons" in model.weights
+        assert "iq_wakeup_broadcasts" in model.weights
+        assert "fifo_write" not in model.weights
+
+    def test_fifo_scheme_has_no_cam_weights(self):
+        model = EnergyModel(default_config(IFD))
+        assert "iq_wakeup_comparisons" not in model.weights
+        assert "fifo_write" in model.weights
+        assert "regs_ready_read" in model.weights
+
+    def test_mixbuff_has_chain_weights(self):
+        model = EnergyModel(default_config(MBD))
+        assert "chains_read" in model.weights
+        assert "mb_buff_write" in model.weights
+        assert "mb_reg_write" in model.weights
+
+    def test_distributed_mux_cheaper_than_centralized(self):
+        central = EnergyModel(default_config(IQ64))
+        distributed = EnergyModel(default_config(IFD))
+        assert distributed.weights["mux_int_alu"] < central.weights["mux_int_alu"]
+
+    def test_energy_sums_events(self):
+        model = EnergyModel(default_config(IQ64))
+        events = {"iq_buff_write": 10, "unknown_event": 1000}
+        expected = 10 * model.weights["iq_buff_write"]
+        assert model.energy_pj(events) == pytest.approx(expected)
+
+    def test_energy_by_event_skips_zero_and_unknown(self):
+        model = EnergyModel(default_config(IQ64))
+        by_event = model.energy_by_event({"iq_buff_write": 0, "mystery": 5})
+        assert by_event == {}
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        model = EnergyModel(default_config(IQ64))
+        events = {"iq_buff_write": 100, "iq_wakeup_comparisons": 500,
+                  "iq_select_cycles": 50, "mux_int_alu": 80}
+        fractions = breakdown_fractions(energy_breakdown(model, events))
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_component_names_match_paper_legends(self):
+        assert COMPONENT_OF_EVENT["iq_wakeup_comparisons"] == "wakeup"
+        assert COMPONENT_OF_EVENT["qrename_read"] == "Qrename"
+        assert COMPONENT_OF_EVENT["chains_read"] == "chains"
+        assert COMPONENT_OF_EVENT["mux_fp_mul"] == "MuxFPMUL"
+
+    def test_empty_breakdown(self):
+        assert breakdown_fractions({}) == {}
+
+
+def make_stats(cycles, instructions, events=None):
+    counters = StatCounters()
+    for name, value in (events or {}).items():
+        counters.add(name, value)
+    return SimulationStats(
+        cycles=cycles, committed_instructions=instructions, events=counters
+    )
+
+
+class TestMetrics:
+    def test_rest_of_chip_calibration_hits_23_percent(self):
+        baseline_iq = 1000.0
+        rest = calibrate_rest_of_chip(baseline_iq, 100, 200)
+        chip = baseline_iq + rest.energy_pj(100, 200)
+        assert baseline_iq / chip == pytest.approx(IQ_POWER_SHARE)
+
+    def test_rejects_degenerate_baseline(self):
+        with pytest.raises(ValueError):
+            calibrate_rest_of_chip(1000.0, 0, 100)
+
+    def test_normalization_against_self_is_one(self):
+        model = EnergyModel(default_config(IQ64))
+        stats = make_stats(100, 200, {"iq_buff_write": 50})
+        rest = calibrate_rest_of_chip(model.energy_pj(stats.events.as_dict()), 100, 200)
+        metrics = compute_metrics(model, stats, rest)
+        normalized = metrics.normalized_to(metrics)
+        assert all(v == pytest.approx(1.0) for v in normalized.values())
+
+    def test_slower_run_has_worse_ed2_scaling(self):
+        model = EnergyModel(default_config(IQ64))
+        fast = make_stats(100, 200, {"iq_buff_write": 50})
+        slow = make_stats(200, 200, {"iq_buff_write": 50})
+        rest = calibrate_rest_of_chip(model.energy_pj(fast.events.as_dict()), 100, 200)
+        m_fast = compute_metrics(model, fast, rest)
+        m_slow = compute_metrics(model, slow, rest)
+        norm = m_slow.normalized_to(m_fast)
+        # Delay doubled: ED grows superlinearly, ED2 even more.
+        assert norm["energy_delay2"] > norm["energy_delay"] > 1.0
+
+    def test_power_is_energy_per_cycle(self):
+        model = EnergyModel(default_config(IQ64))
+        stats = make_stats(100, 200, {"iq_buff_write": 50})
+        rest = calibrate_rest_of_chip(1000.0, 100, 200)
+        metrics = compute_metrics(model, stats, rest)
+        assert metrics.iq_power == pytest.approx(metrics.iq_energy_pj / 100)

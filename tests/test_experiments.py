@@ -1,0 +1,139 @@
+"""Tests for the experiment runner, configs and figure generators."""
+
+import pytest
+
+from repro.common.config import scheme_name
+from repro.experiments import (
+    BASELINE_UNBOUNDED,
+    IF_DISTR,
+    IQ_64_64,
+    MB_DISTR,
+    ExperimentRunner,
+    RunScale,
+    fig2_configs,
+    fig3_configs,
+    fig4_configs,
+    fig6_configs,
+    render_breakdown,
+    render_series,
+    render_table,
+)
+from repro.experiments import figures as fig_mod
+from repro.workloads.prewarm import prewarm  # noqa: F401  (re-export sanity)
+
+SMALL = RunScale(num_instructions=1200, warmup_instructions=600, seed=7)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(SMALL)
+
+
+class TestConfigs:
+    def test_paper_config_names(self):
+        assert scheme_name(IQ_64_64) == "IQ_64_64"
+        assert scheme_name(IF_DISTR) == "IssueFIFO_8x8_8x16_distr"
+        assert scheme_name(MB_DISTR) == "MixBUFF_8x8_8x16_distr"
+        assert scheme_name(BASELINE_UNBOUNDED) == "IQ_unbounded"
+
+    def test_sweeps_have_six_configs_each(self):
+        for configs in (fig2_configs(), fig3_configs(), fig4_configs(), fig6_configs()):
+            assert len(configs) == 6
+
+    def test_fig2_varies_integer_side(self):
+        for name, cfg in fig2_configs().items():
+            assert cfg.fp_queues == 16 and cfg.fp_queue_entries == 16
+            assert cfg.int_queues in (8, 10, 12)
+
+    def test_fig3_varies_fp_side(self):
+        for name, cfg in fig3_configs().items():
+            assert cfg.int_queues == 16 and cfg.int_queue_entries == 16
+            assert cfg.fp_queues in (8, 10, 12)
+
+    def test_mb_distr_chain_cap(self):
+        assert MB_DISTR.max_chains_per_queue == 8
+        assert MB_DISTR.distributed_fus
+
+
+class TestRunner:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            RunScale(num_instructions=100, warmup_instructions=200).validate()
+
+    def test_run_caching(self, runner):
+        first = runner.run("gzip", IQ_64_64)
+        second = runner.run("gzip", IQ_64_64)
+        assert first is second
+
+    def test_trace_caching(self, runner):
+        assert runner.trace_for("gzip") is runner.trace_for("gzip")
+
+    def test_ipc_positive(self, runner):
+        assert runner.ipc("gzip", IQ_64_64) > 0
+
+    def test_loss_of_baseline_against_itself_is_zero(self, runner):
+        loss = runner.ipc_loss_pct("gzip", BASELINE_UNBOUNDED, BASELINE_UNBOUNDED)
+        assert loss == pytest.approx(0.0)
+
+    def test_average_loss(self, runner):
+        loss = runner.average_loss_pct(["gzip"], IF_DISTR, BASELINE_UNBOUNDED)
+        assert loss == runner.ipc_loss_pct("gzip", IF_DISTR, BASELINE_UNBOUNDED)
+
+
+class TestFigureGenerators:
+    """Figure functions on a reduced benchmark set (monkeypatched suites)
+    so the full test suite stays fast; the benchmarks/ harness runs the
+    real ones."""
+
+    @pytest.fixture()
+    def small_suites(self, monkeypatch):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip", "crafty"])
+        monkeypatch.setattr(fig_mod, "FP_BENCHMARKS", ["mesa", "swim"])
+
+    def test_figure2_returns_all_configs(self, runner, small_suites):
+        data = fig_mod.figure2(runner)
+        assert set(data) == set(fig2_configs())
+
+    def test_figure7_has_harmean(self, runner, small_suites):
+        data = fig_mod.figure7(runner)
+        assert set(data) == {"IQ_64_64", "IF_distr", "MB_distr"}
+        for series in data.values():
+            assert "HARMEAN" in series
+
+    def test_figure9_breakdown_fractions(self, runner, small_suites):
+        data = fig_mod.figure9(runner)
+        for suite in ("SPECINT", "SPECFP"):
+            total = sum(data[suite].values())
+            assert total == pytest.approx(1.0)
+            assert "wakeup" in data[suite]
+
+    def test_figure11_has_mixbuff_components(self, runner, small_suites):
+        data = fig_mod.figure11(runner)
+        assert "chains" in data["SPECFP"]
+        assert "select" in data["SPECFP"]
+
+    def test_figure12_baseline_normalized_to_one(self, runner, small_suites):
+        data = fig_mod.figure12(runner)
+        for suite in data.values():
+            assert suite["IQ_64_64"] == pytest.approx(1.0)
+            # Both distributed schemes dissipate less IQ power.
+            assert suite["IF_distr"] < 1.0
+            assert suite["MB_distr"] < 1.0
+
+    def test_figure15_produces_all_schemes(self, runner, small_suites):
+        data = fig_mod.figure15(runner)
+        assert set(data["SPECFP"]) == {"IQ_64_64", "IF_distr", "MB_distr"}
+
+
+class TestReport:
+    def test_render_series(self):
+        text = render_series("Figure 2", {"a": 1.0, "bb": 2.5})
+        assert "Figure 2" in text and "bb" in text and "2.50%" in text
+
+    def test_render_table(self):
+        text = render_table("IPC", {"scheme": {"gzip": 1.234}})
+        assert "gzip" in text and "1.234" in text
+
+    def test_render_breakdown(self):
+        text = render_breakdown("Fig 9", {"SPECINT": {"wakeup": 0.6, "buff": 0.4}})
+        assert "wakeup" in text and "60.0%" in text

@@ -1,0 +1,132 @@
+"""Unit and property tests for the cache hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig, default_config
+from repro.common.stats import StatCounters
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def small_cache(sets=4, ways=2, line=32):
+    return Cache(CacheConfig("test", sets * ways * line, ways, line, 1))
+
+
+class TestCacheBasics:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        assert not cache.lookup(0x100, 10).hit
+        assert cache.lookup(0x100, 10).hit
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=32)
+        cache.lookup(0x100, 10)
+        assert cache.lookup(0x11F, 10).hit  # same 32-byte line
+        assert not cache.lookup(0x120, 10).hit  # next line
+
+    def test_miss_latency_includes_fill(self):
+        cache = small_cache()
+        assert cache.lookup(0x100, 10).latency == 11  # hit latency 1 + fill 10
+        assert cache.lookup(0x100, 10).latency == 1
+
+    def test_lru_eviction(self):
+        cache = small_cache(sets=1, ways=2)
+        a, b, c = 0x000, 0x020, 0x040  # all map to the single set
+        cache.lookup(a, 0)
+        cache.lookup(b, 0)
+        cache.lookup(a, 0)  # a is now most recent
+        cache.lookup(c, 0)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_probe_is_non_destructive(self):
+        cache = small_cache()
+        cache.probe(0x100)
+        assert cache.accesses == 0
+        assert not cache.probe(0x100)
+
+    def test_flush_invalidates_but_keeps_stats(self):
+        cache = small_cache()
+        cache.lookup(0x100, 0)
+        cache.flush()
+        assert not cache.probe(0x100)
+        assert cache.accesses == 1
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0x100, 0)
+        cache.lookup(0x100, 0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        cache = small_cache()
+        cache.lookup(0x100, 0)
+        cache.reset_statistics()
+        assert cache.accesses == 0
+        assert cache.probe(0x100)  # contents preserved
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = small_cache(sets=4, ways=2)
+        for addr in addresses:
+            cache.lookup(addr, 0)
+        summary = cache.contents_summary()
+        assert summary["lines_valid"] <= summary["lines_total"]
+
+    @given(st.lists(st.integers(0, 1 << 16), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = small_cache()
+        for addr in addresses:
+            cache.lookup(addr, 0)
+        assert cache.hits + cache.misses == cache.accesses
+
+    @given(st.integers(0, 1 << 20))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, addr):
+        cache = small_cache()
+        cache.lookup(addr, 0)
+        assert cache.lookup(addr, 0).hit
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = MemoryHierarchy(default_config())
+        h.data_access_latency(0x1000)  # fill
+        assert h.data_access_latency(0x1000) == 2  # Table 1 L1D hit
+
+    def test_cold_miss_goes_to_memory(self):
+        h = MemoryHierarchy(default_config())
+        latency = h.data_access_latency(0x5000)
+        # L1 (2) + L2 (10) + memory (100 for 64-byte line).
+        assert latency == 2 + 10 + 100
+
+    def test_l2_hit_after_l1_eviction(self):
+        cfg = default_config()
+        h = MemoryHierarchy(cfg)
+        h.data_access_latency(0x1000)
+        # Evict 0x1000 from L1 by filling its set (4 ways + 1).
+        l1_way_stride = cfg.dcache.num_sets * cfg.dcache.line_bytes
+        for i in range(1, 5):
+            h.data_access_latency(0x1000 + i * l1_way_stride)
+        latency = h.data_access_latency(0x1000)
+        assert latency == 2 + 10  # L1 miss, L2 hit
+
+    def test_instruction_fetch_latency_hit(self):
+        h = MemoryHierarchy(default_config())
+        h.instruction_fetch_latency(0x400000)
+        assert h.instruction_fetch_latency(0x400000) == 1
+
+    def test_collect_events_exports_and_resets(self):
+        h = MemoryHierarchy(default_config())
+        h.data_access_latency(0x1000)
+        events = StatCounters()
+        h.collect_events(events)
+        assert events.get("dcache_accesses") == 1
+        assert events.get("dcache_misses") == 1
+        assert h.dcache.accesses == 0  # reset after export

@@ -1,0 +1,95 @@
+"""End-to-end checks of the paper's qualitative claims.
+
+These use short runs, so thresholds are deliberately loose — the full
+benchmark harness (benchmarks/) reproduces the actual figures. What must
+hold even at small scale is the *ordering*: who wins and who loses.
+"""
+
+import pytest
+
+from repro.common.config import IssueSchemeConfig, default_config
+from repro.energy.model import EnergyModel
+from repro.experiments import (
+    BASELINE_UNBOUNDED,
+    IF_DISTR,
+    IQ_64_64,
+    MB_DISTR,
+    ExperimentRunner,
+    RunScale,
+)
+
+FP_SAMPLE = ["swim", "galgel", "applu", "ammp"]
+INT_SAMPLE = ["gzip", "crafty", "vortex"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(RunScale(num_instructions=4000, warmup_instructions=2000, seed=11))
+
+
+def avg_loss(runner, benches, scheme, baseline=BASELINE_UNBOUNDED):
+    return runner.average_loss_pct(benches, scheme, baseline)
+
+
+class TestSection3Claims:
+    def test_issuefifo_loses_more_on_fp_than_int(self, runner):
+        int_cfg = IssueSchemeConfig(kind="issuefifo", int_queues=8, int_queue_entries=8,
+                                    fp_queues=16, fp_queue_entries=16)
+        fp_cfg = IssueSchemeConfig(kind="issuefifo", int_queues=16, int_queue_entries=16,
+                                   fp_queues=8, fp_queue_entries=16)
+        int_loss = avg_loss(runner, INT_SAMPLE, int_cfg)
+        fp_loss = avg_loss(runner, FP_SAMPLE, fp_cfg)
+        assert fp_loss > int_loss
+
+    def test_latfifo_beats_issuefifo_on_fp(self, runner):
+        kw = dict(int_queues=16, int_queue_entries=16, fp_queues=8, fp_queue_entries=16)
+        is_loss = avg_loss(runner, FP_SAMPLE, IssueSchemeConfig(kind="issuefifo", **kw))
+        la_loss = avg_loss(runner, FP_SAMPLE, IssueSchemeConfig(kind="latfifo", **kw))
+        assert la_loss < is_loss
+
+    def test_mixbuff_close_to_unbounded_baseline(self, runner):
+        kw = dict(int_queues=16, int_queue_entries=16, fp_queues=8, fp_queue_entries=16)
+        mb_loss = avg_loss(runner, FP_SAMPLE, IssueSchemeConfig(kind="mixbuff", **kw))
+        assert mb_loss < 15.0  # paper: ~5% at full scale
+
+    def test_mixbuff_beats_issuefifo_on_fp(self, runner):
+        kw = dict(int_queues=16, int_queue_entries=16, fp_queues=8, fp_queue_entries=16)
+        is_loss = avg_loss(runner, FP_SAMPLE, IssueSchemeConfig(kind="issuefifo", **kw))
+        mb_loss = avg_loss(runner, FP_SAMPLE, IssueSchemeConfig(kind="mixbuff", **kw))
+        assert mb_loss < is_loss
+
+
+class TestSection4Claims:
+    def test_if_and_mb_identical_on_pure_int(self, runner):
+        # Both schemes share the integer side, so integer-only programs
+        # behave identically (eon differs: it has FP work).
+        for bench in ("gzip", "crafty"):
+            assert runner.ipc(bench, IF_DISTR) == pytest.approx(
+                runner.ipc(bench, MB_DISTR)
+            )
+
+    def test_mb_distr_beats_if_distr_on_fp(self, runner):
+        if_loss = avg_loss(runner, FP_SAMPLE, IF_DISTR, IQ_64_64)
+        mb_loss = avg_loss(runner, FP_SAMPLE, MB_DISTR, IQ_64_64)
+        assert mb_loss < if_loss
+
+    def test_distributed_schemes_use_less_iq_energy(self, runner):
+        base_model = EnergyModel(default_config(IQ_64_64))
+        for scheme in (IF_DISTR, MB_DISTR):
+            model = EnergyModel(default_config(scheme))
+            for bench in ("swim", "gzip"):
+                base = base_model.energy_pj(
+                    runner.run(bench, IQ_64_64).events.as_dict()
+                )
+                ours = model.energy_pj(runner.run(bench, scheme).events.as_dict())
+                assert ours < base
+
+    def test_wakeup_dominates_baseline_fp_breakdown(self, runner):
+        from repro.energy.breakdown import breakdown_fractions, energy_breakdown
+
+        model = EnergyModel(default_config(IQ_64_64))
+        stats = runner.run("swim", IQ_64_64)
+        fractions = breakdown_fractions(
+            energy_breakdown(model, stats.events.as_dict())
+        )
+        assert fractions["wakeup"] == max(fractions.values())

@@ -1,0 +1,96 @@
+"""Unit tests for MixBUFF selection, including the Figure 5 example."""
+
+from repro.issue.selection import (
+    CODE_FINISHED,
+    CODE_FINISHES_NEXT_CYCLE,
+    CODE_NOT_READY,
+    SelectableEntry,
+    latency_code,
+    select_entry,
+    selection_key,
+)
+
+
+class TestLatencyCode:
+    def test_finished(self):
+        assert latency_code(chain_completion_cycle=5, cycle=5) == CODE_FINISHED
+        assert latency_code(chain_completion_cycle=3, cycle=5) == CODE_FINISHED
+
+    def test_finishes_next_cycle(self):
+        assert latency_code(6, 5) == CODE_FINISHES_NEXT_CYCLE
+
+    def test_not_ready(self):
+        assert latency_code(7, 5) == CODE_NOT_READY
+        assert latency_code(100, 5) == CODE_NOT_READY
+
+    def test_code_ordering_matches_paper(self):
+        # 00 (finishing next cycle) < 01 (finished) < 11 (not ready).
+        assert CODE_FINISHES_NEXT_CYCLE < CODE_FINISHED < CODE_NOT_READY
+
+
+class TestSelectionKey:
+    def test_code_dominates_age(self):
+        young_first_time = selection_key(CODE_FINISHES_NEXT_CYCLE, age=100)
+        old_delayed = selection_key(CODE_FINISHED, age=1)
+        assert young_first_time < old_delayed
+
+    def test_age_breaks_ties(self):
+        assert selection_key(CODE_FINISHED, 3) < selection_key(CODE_FINISHED, 7)
+
+
+class TestFigure5Example:
+    """The worked example of Figure 5, reproduced entry for entry.
+
+    Queue contents (instruction, age bits, chain) with chain latency
+    codes: chain 0 -> 01 (finished), chain 1 -> 00 (finishing next
+    cycle), chain 2 -> 00, chain 3 -> 11 (2+ cycles). The paper selects
+    instruction i+1 (age 0110, chain 1): the oldest among the entries
+    whose priority class is highest.
+    """
+
+    def entries(self):
+        return [
+            SelectableEntry(chain=0, age=0b0101, payload="i"),
+            SelectableEntry(chain=1, age=0b0110, payload="i+1"),
+            SelectableEntry(chain=2, age=0b1001, payload="i+4"),
+            SelectableEntry(chain=3, age=0b1010, payload="i+5"),
+            SelectableEntry(chain=0, age=0b0111, payload="i+2"),
+            SelectableEntry(chain=2, age=0b1000, payload="i+3"),
+        ]
+
+    def chain_completion(self, cycle):
+        # Codes: chain0 finished (01), chain1 finishes next cycle (00),
+        # chain2 finishes next cycle (00), chain3 needs 2+ cycles (11).
+        return {0: cycle, 1: cycle + 1, 2: cycle + 1, 3: cycle + 4}
+
+    def test_selects_i_plus_1(self):
+        cycle = 10
+        pick = select_entry(self.entries(), self.chain_completion(cycle), cycle)
+        assert pick is not None
+        assert pick.payload == "i+1"
+
+    def test_chain3_never_selected(self):
+        cycle = 10
+        entries = [e for e in self.entries() if e.chain == 3]
+        assert select_entry(entries, self.chain_completion(cycle), cycle) is None
+
+    def test_oldest_wins_within_class(self):
+        cycle = 10
+        entries = [e for e in self.entries() if e.chain == 2]  # i+3, i+4
+        pick = select_entry(entries, self.chain_completion(cycle), cycle)
+        assert pick.payload == "i+3"  # age 1000 < 1001
+
+
+class TestSelectEntry:
+    def test_empty_queue(self):
+        assert select_entry([], {}, 0) is None
+
+    def test_unknown_chain_treated_as_finished(self):
+        entry = SelectableEntry(chain=9, age=1)
+        assert select_entry([entry], {}, 0) is entry
+
+    def test_first_time_beats_older_finished(self):
+        finishing = SelectableEntry(chain=1, age=50)
+        finished_old = SelectableEntry(chain=0, age=1)
+        pick = select_entry([finished_old, finishing], {0: 0, 1: 6}, cycle=5)
+        assert pick is finishing

@@ -1,0 +1,160 @@
+"""Tests for profiles, the trace generator and the benchmark suites."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError, UnknownBenchmarkError
+from repro.isa.opcodes import OpClass
+from repro.workloads.generator import build_static_program, generate_trace
+from repro.workloads.profiles import (
+    BranchBehavior,
+    MemoryBehavior,
+    OperationMix,
+    WorkloadProfile,
+)
+from repro.workloads.suites import (
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    all_profiles,
+    get_profile,
+    specfp2000,
+    specint2000,
+)
+
+
+class TestOperationMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            OperationMix(int_alu=0.5, load=0.2).validate()
+
+    def test_needs_computation(self):
+        with pytest.raises(ConfigurationError):
+            OperationMix(load=0.5, store=0.3, branch=0.2).validate()
+
+    def test_fp_fraction(self):
+        mix = OperationMix(int_alu=0.4, fp_alu=0.3, fp_mul=0.2, load=0.1)
+        assert mix.fp_fraction == pytest.approx(0.5)
+
+
+class TestSuites:
+    def test_counts_match_paper(self):
+        assert len(INT_BENCHMARKS) == 12
+        assert len(FP_BENCHMARKS) == 14
+
+    def test_paper_benchmark_names(self):
+        assert "mcf" in INT_BENCHMARKS
+        assert "eon" in INT_BENCHMARKS
+        assert "swim" in FP_BENCHMARKS
+        assert "sixtrack" in FP_BENCHMARKS
+
+    def test_all_profiles_validate(self):
+        for profile in all_profiles():
+            profile.validate()
+
+    def test_int_suite_has_narrow_ddgs(self):
+        assert all(p.num_chains <= 8 for p in specint2000())
+
+    def test_fp_suite_has_wide_ddgs(self):
+        assert all(p.num_chains >= 10 for p in specfp2000())
+
+    def test_fp_profiles_have_fp_work(self):
+        assert all(p.mix.fp_fraction > 0.3 for p in specfp2000())
+
+    def test_eon_has_fp_work(self):
+        assert get_profile("eon").mix.fp_fraction > 0.1
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_profile("doom")
+
+    def test_as_dict_summary(self):
+        d = get_profile("swim").as_dict()
+        assert d["suite"] == "fp"
+        assert d["num_chains"] == 20
+
+
+class TestGenerator:
+    def test_requested_length(self):
+        trace = generate_trace(get_profile("gzip"), 500, seed=3)
+        assert len(trace) == 500
+
+    def test_deterministic(self):
+        a = generate_trace(get_profile("swim"), 400, seed=3)
+        b = generate_trace(get_profile("swim"), 400, seed=3)
+        assert [str(i) for i in a] == [str(i) for i in b]
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(get_profile("swim"), 400, seed=3)
+        b = generate_trace(get_profile("swim"), 400, seed=4)
+        assert [str(i) for i in a] != [str(i) for i in b]
+
+    def test_traces_validate(self):
+        for name in ("gzip", "mcf", "swim", "eon", "lucas"):
+            generate_trace(get_profile(name), 600, seed=7).validate()
+
+    def test_mix_approximately_respected(self):
+        profile = get_profile("swim")
+        trace = generate_trace(profile, 4000, seed=5)
+        load_frac = trace.fraction([OpClass.LOAD, OpClass.FP_LOAD])
+        assert load_frac == pytest.approx(profile.mix.load, abs=0.05)
+        fp_frac = trace.fraction([OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV])
+        assert fp_frac == pytest.approx(profile.mix.fp_fraction, abs=0.06)
+
+    def test_fp_suite_memory_ops_are_fp_class(self):
+        trace = generate_trace(get_profile("swim"), 600, seed=5)
+        histogram = trace.op_histogram()
+        assert OpClass.FP_LOAD in histogram
+        assert OpClass.LOAD not in histogram
+
+    def test_pc_stream_repeats_loop_body(self):
+        profile = get_profile("gzip")
+        trace = generate_trace(profile, profile.loop_body_size * 3, seed=5)
+        body = profile.loop_body_size
+        assert trace[0].pc == trace[body].pc == trace[2 * body].pc
+
+    def test_addresses_within_working_set(self):
+        profile = get_profile("gzip")
+        trace = generate_trace(profile, 2000, seed=5)
+        ws = profile.memory.working_set_bytes
+        base = 0x1000_0000
+        for inst in trace:
+            if inst.mem_addr is not None:
+                assert base <= inst.mem_addr < base + 2 * ws
+
+    def test_too_many_chains_rejected(self):
+        profile = dataclasses.replace(get_profile("swim"), num_chains=64)
+        with pytest.raises(ConfigurationError):
+            build_static_program(profile, seed=1)
+
+    def test_loopback_branch_present(self):
+        program = build_static_program(get_profile("gzip"), seed=1)
+        assert program.bodies[0][-1].is_loop_back
+
+    def test_code_footprint_multiple_bodies(self):
+        program = build_static_program(get_profile("gcc"), seed=1)
+        assert len(program.bodies) == get_profile("gcc").code_footprint_loops
+
+    @given(
+        chains=st.integers(2, 20),
+        seed=st.integers(0, 1000),
+        carried=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_profiles_generate_valid_traces(self, chains, seed, carried):
+        profile = WorkloadProfile(
+            name="prop",
+            suite="fp",
+            num_chains=chains,
+            mix=OperationMix(
+                int_alu=0.2, fp_alu=0.3, fp_mul=0.2, load=0.2, store=0.05, branch=0.05
+            ),
+            memory=MemoryBehavior(working_set_bytes=64 * 1024),
+            branches=BranchBehavior(),
+            loop_body_size=64,
+            loop_carried_fraction=carried,
+        )
+        trace = generate_trace(profile, 300, seed=seed)
+        trace.validate()
+        assert len(trace) == 300

@@ -1,0 +1,59 @@
+"""Shared helpers for building hand-crafted traces in tests."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa.instructions import Instruction, RegisterRef
+from repro.isa.opcodes import OpClass
+from repro.workloads.trace import Trace
+
+__all__ = ["r", "f", "alu", "fpalu", "load", "store", "branch", "make_trace"]
+
+
+def r(index: int) -> RegisterRef:
+    """Integer architectural register."""
+    return RegisterRef(False, index)
+
+
+def f(index: int) -> RegisterRef:
+    """FP architectural register."""
+    return RegisterRef(True, index)
+
+
+def alu(seq: int, dest: Optional[RegisterRef], srcs: Sequence[RegisterRef] = (),
+        pc: Optional[int] = None, op: OpClass = OpClass.INT_ALU) -> Instruction:
+    return Instruction(seq=seq, pc=pc if pc is not None else 0x1000 + 4 * seq,
+                       op=op, srcs=tuple(srcs), dest=dest)
+
+
+def fpalu(seq: int, dest: RegisterRef, srcs: Sequence[RegisterRef] = (),
+          op: OpClass = OpClass.FP_ALU) -> Instruction:
+    return alu(seq, dest, srcs, op=op)
+
+
+def load(seq: int, dest: RegisterRef, addr: int, srcs: Sequence[RegisterRef] = (),
+         fp: bool = False) -> Instruction:
+    op = OpClass.FP_LOAD if fp else OpClass.LOAD
+    return Instruction(seq=seq, pc=0x1000 + 4 * seq, op=op,
+                       srcs=tuple(srcs), dest=dest, mem_addr=addr)
+
+
+def store(seq: int, data: RegisterRef, addr: int,
+          addr_srcs: Sequence[RegisterRef] = ()) -> Instruction:
+    op = OpClass.FP_STORE if data.is_fp else OpClass.STORE
+    return Instruction(seq=seq, pc=0x1000 + 4 * seq, op=op,
+                       srcs=(data,) + tuple(addr_srcs), dest=None, mem_addr=addr)
+
+
+def branch(seq: int, taken: bool, target: int = 0x2000,
+           srcs: Sequence[RegisterRef] = ()) -> Instruction:
+    return Instruction(seq=seq, pc=0x1000 + 4 * seq, op=OpClass.BRANCH,
+                       srcs=tuple(srcs), dest=None, taken=taken,
+                       target=target if taken else None)
+
+
+def make_trace(instructions: List[Instruction], name: str = "test") -> Trace:
+    trace = Trace(name=name, instructions=instructions)
+    trace.validate()
+    return trace
