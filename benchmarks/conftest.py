@@ -2,17 +2,29 @@
 
 All benchmarks share one :class:`ExperimentRunner`, so baseline runs are
 simulated once and reused across figures (the same way the paper's
-figures share the same simulation campaign). ``REPRO_BENCH_SCALE``
-(environment variable, dynamic instructions per run) raises the scale
-for higher-fidelity numbers; the default keeps the full harness in the
-minutes range.
+figures share the same simulation campaign). The runner is additionally
+backed by the on-disk result store, so a *second* invocation of the
+whole harness replays every figure from cache without simulating at all.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dynamic instructions per run (default 4000);
+  raising it gives higher-fidelity numbers and a different cache
+  universe (scale is part of the cache key).
+* ``REPRO_CACHE_DIR`` — where results persist (default
+  ``~/.cache/repro-abella04``). Delete the directory for a cold run.
+
+Each benchmark's pytest-benchmark record carries ``extra_info`` with its
+wall time and the memory-hit/disk-hit/simulation deltas it caused, so
+BENCH_*.json files capture the cache speedup trajectory run over run.
 """
 
 import os
+import time
 
 import pytest
 
-from repro.experiments import ExperimentRunner, RunScale
+from repro.experiments import ExperimentRunner, ResultStore, RunScale, default_cache_dir
 
 _DEFAULT_INSTRUCTIONS = 4000
 
@@ -23,5 +35,53 @@ def _scale() -> RunScale:
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner(_scale())
+def cache_dir():
+    """Directory backing the session's result store (persists across runs)."""
+    return default_cache_dir()
+
+
+@pytest.fixture(scope="session")
+def runner(request, cache_dir) -> ExperimentRunner:
+    shared = ExperimentRunner(_scale(), store=ResultStore(cache_dir))
+    request.config._repro_runner = shared
+    return shared
+
+
+@pytest.fixture(autouse=True)
+def _cache_telemetry(request, runner):
+    """Attach per-test wall time and cache-layer deltas to the benchmark.
+
+    The deltas land in pytest-benchmark's ``extra_info`` (and thus in any
+    ``--benchmark-json`` output), so successive BENCH_*.json files show
+    the harness going from all-simulations to all-disk-hits.
+    """
+    # Resolve the benchmark fixture eagerly: during teardown it is
+    # already finalized and can no longer be requested.
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    before = runner.cache_stats()
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    delta = {
+        f"cache_{name}": after - before[name]
+        for name, after in runner.cache_stats().items()
+    }
+    if benchmark is not None:
+        benchmark.extra_info["wall_time_s"] = round(elapsed, 3)
+        benchmark.extra_info.update(delta)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """One-line cache report for the whole benchmark session."""
+    runner = getattr(config, "_repro_runner", None)
+    if runner is None:
+        return
+    stats = runner.cache_stats()
+    terminalreporter.write_line(
+        f"repro cache: {stats['simulations']} simulated, "
+        f"{stats['disk_hits']} disk hits, {stats['memory_hits']} memory hits"
+    )

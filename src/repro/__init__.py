@@ -29,6 +29,7 @@ from repro.core.processor import Processor
 from repro.energy.model import EnergyModel
 from repro.experiments.configs import BASELINE_UNBOUNDED, IF_DISTR, IQ_64_64, MB_DISTR
 from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.experiments.store import ResultStore
 from repro.workloads.generator import generate_trace
 from repro.workloads.suites import (
     FP_BENCHMARKS,
@@ -38,7 +39,7 @@ from repro.workloads.suites import (
     specint2000,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BASELINE_UNBOUNDED",
@@ -52,6 +53,7 @@ __all__ = [
     "MB_DISTR",
     "Processor",
     "ProcessorConfig",
+    "ResultStore",
     "RunScale",
     "SimulationStats",
     "default_config",

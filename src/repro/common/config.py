@@ -7,7 +7,9 @@ Section 3 (A integer queues of B entries, C FP queues of D entries).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, is_dataclass, replace
 from typing import Optional
 
 from repro.common.errors import ConfigurationError
@@ -21,11 +23,39 @@ __all__ = [
     "ProcessorConfig",
     "default_config",
     "scheme_name",
+    "stable_fingerprint",
 ]
 
 
+def stable_fingerprint(obj) -> str:
+    """Canonical JSON rendering of a (possibly nested) config dataclass.
+
+    Field order is normalized by sorting keys, so the fingerprint — and
+    anything hashed from it — is stable across processes and Python
+    versions. Every config field is a str/int/float/bool/None, which JSON
+    renders deterministically.
+    """
+    if not is_dataclass(obj):
+        raise TypeError(f"can only fingerprint dataclasses, got {type(obj).__name__}")
+    payload = {"__type__": type(obj).__name__, **asdict(obj)}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class _Fingerprinted:
+    """Mixin giving every config dataclass a content-addressed key."""
+
+    def cache_key(self) -> str:
+        """SHA-256 over the canonical field rendering of this config.
+
+        Two configs share a key iff every (nested) field is equal, so the
+        key is safe to use as an on-disk cache address: changing any knob
+        — queue geometry, latencies, scheme kind, ... — changes the key.
+        """
+        return hashlib.sha256(stable_fingerprint(self).encode("ascii")).hexdigest()
+
+
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(_Fingerprinted):
     """Geometry and timing of one cache level."""
 
     name: str
@@ -60,7 +90,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class MemoryConfig:
+class MemoryConfig(_Fingerprinted):
     """Main-memory timing: 100 cycles for the first chunk, 2 inter-chunk."""
 
     first_chunk_latency: int = 100
@@ -82,7 +112,7 @@ class MemoryConfig:
 
 
 @dataclass(frozen=True)
-class BranchPredictorConfig:
+class BranchPredictorConfig(_Fingerprinted):
     """Hybrid predictor: 2K gshare + 2K bimodal + 1K selector, 2048x4 BTB."""
 
     gshare_entries: int = 2048
@@ -108,7 +138,7 @@ class BranchPredictorConfig:
 
 
 @dataclass(frozen=True)
-class FunctionalUnitConfig:
+class FunctionalUnitConfig(_Fingerprinted):
     """Counts and latencies of the functional units (Table 1).
 
     Multiplies are pipelined; divides occupy their unit for the full
@@ -165,7 +195,7 @@ _VALID_KINDS = (
 
 
 @dataclass(frozen=True)
-class IssueSchemeConfig:
+class IssueSchemeConfig(_Fingerprinted):
     """Which issue organization to simulate, and its geometry.
 
     For the multi-queue schemes the geometry follows the paper's
@@ -239,7 +269,7 @@ def scheme_name(cfg: IssueSchemeConfig) -> str:
 
 
 @dataclass(frozen=True)
-class ProcessorConfig:
+class ProcessorConfig(_Fingerprinted):
     """Full processor configuration (Table 1 of the paper)."""
 
     fetch_width: int = 8

@@ -8,7 +8,7 @@ and merging; :class:`SimulationStats` is the structured result a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Any, Dict, Iterable, Mapping
 
 __all__ = ["StatCounters", "SimulationStats", "harmonic_mean"]
 
@@ -42,11 +42,26 @@ class StatCounters:
         """Snapshot of all counters as a plain dict."""
         return dict(self._counts)
 
+    @classmethod
+    def from_dict(cls, counts: Mapping[str, int]) -> "StatCounters":
+        """Rebuild a counter bag from an :meth:`as_dict` snapshot."""
+        bag = cls()
+        for name, value in counts.items():
+            if not isinstance(name, str) or not isinstance(value, int):
+                raise TypeError(f"counter {name!r}={value!r} is not a str->int pair")
+            bag.add(name, value)
+        return bag
+
     def __iter__(self):
         return iter(sorted(self._counts.items()))
 
     def __len__(self) -> int:
         return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatCounters):
+            return NotImplemented
+        return self._counts == other._counts
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self)
@@ -92,6 +107,45 @@ class SimulationStats:
             "mispredict_rate": self.mispredict_rate,
             "dispatch_stall_cycles": float(self.dispatch_stall_cycles),
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot; inverse of :meth:`from_dict`.
+
+        Every field is an integer (events included), so the round trip
+        through JSON is exact — a cached result is bit-identical to the
+        simulation that produced it.
+        """
+        return {
+            "cycles": self.cycles,
+            "committed_instructions": self.committed_instructions,
+            "fetched_instructions": self.fetched_instructions,
+            "dispatch_stall_cycles": self.dispatch_stall_cycles,
+            "branch_predictions": self.branch_predictions,
+            "branch_mispredictions": self.branch_mispredictions,
+            "events": self.events.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationStats":
+        """Rebuild stats from a :meth:`to_dict` snapshot.
+
+        Raises ``KeyError``/``TypeError`` on malformed payloads, which the
+        result store treats as a cache miss.
+        """
+        scalars = {}
+        for name in (
+            "cycles",
+            "committed_instructions",
+            "fetched_instructions",
+            "dispatch_stall_cycles",
+            "branch_predictions",
+            "branch_mispredictions",
+        ):
+            value = payload[name]
+            if not isinstance(value, int):
+                raise TypeError(f"stats field {name!r} must be an int, got {value!r}")
+            scalars[name] = value
+        return cls(events=StatCounters.from_dict(payload["events"]), **scalars)
 
 
 def harmonic_mean(values: Iterable[float]) -> float:

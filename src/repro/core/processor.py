@@ -190,7 +190,7 @@ class Processor:
             if not self.scheme.try_dispatch(uop, cycle):
                 # Placement failed: roll the age allocator back so ages
                 # stay dense and retry next cycle.
-                self.rob._next_age -= 1
+                self.rob.rollback_age()
                 stalled = True
                 break
             self._decode_queue.popleft()

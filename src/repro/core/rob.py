@@ -47,6 +47,23 @@ class ReorderBuffer:
         self._next_age += 1
         return age
 
+    def rollback_age(self) -> None:
+        """Un-allocate the most recently allocated age.
+
+        Dispatch allocates an age before asking the issue scheme for a
+        placement; when placement fails the instruction retries next
+        cycle and must get the *same* age again, or ages stop being dense
+        dispatch sequence numbers. Only the latest allocation can be
+        rolled back, and only while no instruction holds it — rolling
+        back an age already pushed into the ROB would let a younger
+        instruction reuse it.
+        """
+        if self._next_age == 0:
+            raise SimulationError("no age allocated yet — nothing to roll back")
+        if self._entries and self._entries[-1].age >= self._next_age - 1:
+            raise SimulationError("cannot roll back an age already in the ROB")
+        self._next_age -= 1
+
     def push(self, uop: InFlight) -> None:
         """Append a newly dispatched instruction (must be in age order)."""
         if self.full:

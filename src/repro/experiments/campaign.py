@@ -3,27 +3,40 @@
 Command line::
 
     python -m repro.experiments.campaign [--scale N] [--figures 2,3,8]
+        [--workers N] [--benchmarks int|fp|all] [--cache-dir DIR]
+        [--no-cache]
 
 This is the batch entry point behind the per-figure benchmarks: it
-shares one cached runner across all figures, so the whole campaign
-costs one simulation per (benchmark, scheme) pair.
+shares one cached runner across all figures, prefetches the whole
+(benchmark, scheme) matrix — across ``--workers`` processes when asked —
+and reuses any result already present in the on-disk store, so the whole
+campaign costs one simulation per (benchmark, scheme) pair *ever*, not
+per invocation. Pass ``--no-cache`` to force every simulation to run
+fresh in this process (a cold run that also leaves the store untouched).
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Callable, Dict, List
 
 from repro.experiments import figures as fig_mod
 from repro.experiments.report import render_breakdown, render_series, render_table
 from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.experiments.store import ResultStore, default_cache_dir
 
-__all__ = ["run_campaign", "main"]
+__all__ = ["run_campaign", "main", "ALL_FIGURES", "figures_for_suite"]
 
 _SERIES_FIGURES = {2, 3, 4, 6}
 _TABLE_FIGURES = {7, 8, 12, 13, 14, 15}
 _BREAKDOWN_FIGURES = {9, 10, 11}
 ALL_FIGURES = sorted(_SERIES_FIGURES | _TABLE_FIGURES | _BREAKDOWN_FIGURES)
+
+#: Figures whose matrix touches only one benchmark suite. Everything else
+#: (the energy/efficiency figures) aggregates over both suites.
+_INT_ONLY_FIGURES = {2, 7}
+_FP_ONLY_FIGURES = {3, 4, 6, 8}
 
 _TITLES = {
     2: "% IPC loss, IssueFIFO, SPECINT",
@@ -42,18 +55,36 @@ _TITLES = {
 }
 
 
+def figures_for_suite(benchmarks: str) -> List[int]:
+    """Figure numbers whose matrix fits the ``--benchmarks`` selection."""
+    if benchmarks == "int":
+        return sorted(_INT_ONLY_FIGURES)
+    if benchmarks == "fp":
+        return sorted(_FP_ONLY_FIGURES)
+    return ALL_FIGURES
+
+
 def _generator(number: int) -> Callable[[ExperimentRunner], Dict]:
     return getattr(fig_mod, f"figure{number}")
 
 
 def run_campaign(
-    runner: ExperimentRunner, figure_numbers: List[int]
+    runner: ExperimentRunner,
+    figure_numbers: List[int],
+    workers: int = 0,
 ) -> Dict[int, str]:
-    """Generate and render the requested figures; returns text per figure."""
-    rendered: Dict[int, str] = {}
+    """Generate and render the requested figures; returns text per figure.
+
+    The figures' full (benchmark, scheme) matrix is prefetched first —
+    in parallel when ``workers > 1`` — so the generators themselves only
+    read the warm cache.
+    """
     for number in figure_numbers:
         if number not in _TITLES:
             raise ValueError(f"unknown figure {number}; known: {ALL_FIGURES}")
+    runner.prefetch(fig_mod.required_runs(figure_numbers), workers=workers)
+    rendered: Dict[int, str] = {}
+    for number in figure_numbers:
         data = _generator(number)(runner)
         title = f"Figure {number}. {_TITLES[number]}"
         if number in _SERIES_FIGURES:
@@ -71,20 +102,65 @@ def main(argv: List[str] = None) -> None:
                         help="dynamic instructions per run (half is warm-up)")
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--figures", type=str, default=None,
-                        help="comma-separated figure numbers (default: all)")
+                        help="comma-separated figure numbers (default: all "
+                             "compatible with --benchmarks)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="simulation worker processes (0 = serial)")
+    parser.add_argument("--benchmarks", choices=("int", "fp", "all"),
+                        default="all",
+                        help="restrict the sweep to one SPEC suite "
+                             "(int: figures 2,7; fp: figures 3,4,6,8)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result-store directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-abella04)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result store entirely "
+                             "(forces a cold, non-persisting run)")
     args = parser.parse_args(argv)
 
-    numbers = (
-        [int(x) for x in args.figures.split(",")] if args.figures else ALL_FIGURES
-    )
-    runner = ExperimentRunner(
-        RunScale(num_instructions=args.scale,
-                 warmup_instructions=args.scale // 2,
-                 seed=args.seed)
-    )
+    if args.figures:
+        try:
+            numbers = [int(x) for x in args.figures.split(",")]
+        except ValueError:
+            parser.error(
+                f"--figures must be comma-separated numbers, got {args.figures!r}"
+            )
+        unknown = [n for n in numbers if n not in _TITLES]
+        if unknown:
+            parser.error(f"unknown figures {unknown}; known: {ALL_FIGURES}")
+        allowed = set(figures_for_suite(args.benchmarks))
+        bad = [n for n in numbers if n not in allowed]
+        if bad:
+            parser.error(
+                f"figures {bad} need benchmarks outside --benchmarks={args.benchmarks}"
+            )
+    else:
+        numbers = figures_for_suite(args.benchmarks)
+
+    if args.no_cache:
+        store = False
+    else:
+        store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore(default_cache_dir())
+    scale = RunScale(num_instructions=args.scale,
+                     warmup_instructions=args.scale // 2,
+                     seed=args.seed)
+    try:
+        scale.validate()
+    except ValueError as exc:
+        parser.error(f"--scale {args.scale}: {exc}")
+    runner = ExperimentRunner(scale, store=store, workers=args.workers)
+    started = time.perf_counter()
     for number in numbers:
-        print(run_campaign(runner, [number])[number])
+        print(run_campaign(runner, [number], workers=args.workers)[number])
         print()
+    elapsed = time.perf_counter() - started
+    stats = runner.cache_stats()
+    print(
+        f"campaign: {len(numbers)} figures in {elapsed:.1f}s — "
+        f"{stats['simulations']} simulated, {stats['disk_hits']} disk hits, "
+        f"{stats['memory_hits']} memory hits"
+        + ("" if args.no_cache else f" (store: {runner.store.root})")
+    )
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ __all__ = [
     "figure13",
     "figure14",
     "figure15",
+    "required_runs",
     "SCHEMES_SECTION4",
 ]
 
@@ -203,3 +204,52 @@ def figure14(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
 def figure15(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
     """Normalized whole-chip energy·delay²."""
     return _normalized_metric(runner, "energy_delay2")
+
+
+def _figure_matrix(number: int) -> tuple:
+    """(scheme configs, suites) one figure's generator will simulate."""
+    section4 = list(SCHEMES_SECTION4.values())
+    if number == 2:
+        return [BASELINE_UNBOUNDED] + list(fig2_configs().values()), (INT_BENCHMARKS,)
+    if number == 3:
+        return [BASELINE_UNBOUNDED] + list(fig3_configs().values()), (FP_BENCHMARKS,)
+    if number == 4:
+        return [BASELINE_UNBOUNDED] + list(fig4_configs().values()), (FP_BENCHMARKS,)
+    if number == 6:
+        return [BASELINE_UNBOUNDED] + list(fig6_configs().values()), (FP_BENCHMARKS,)
+    if number == 7:
+        return section4, (INT_BENCHMARKS,)
+    if number == 8:
+        return section4, (FP_BENCHMARKS,)
+    if number == 9:
+        return [IQ_64_64], (INT_BENCHMARKS, FP_BENCHMARKS)
+    if number == 10:
+        return [IF_DISTR], (INT_BENCHMARKS, FP_BENCHMARKS)
+    if number == 11:
+        return [MB_DISTR], (INT_BENCHMARKS, FP_BENCHMARKS)
+    if number in (12, 13, 14, 15):
+        return section4, (INT_BENCHMARKS, FP_BENCHMARKS)
+    raise ValueError(f"no simulation matrix for figure {number}")
+
+
+def required_runs(figure_numbers) -> List:
+    """Deduplicated (benchmark, scheme) pairs the given figures simulate.
+
+    This is the fan-out frontier for a parallel campaign: prefetching
+    these pairs (``ExperimentRunner.prefetch``) warms the memory cache so
+    the figure generators themselves never trigger a simulation. The
+    order is deterministic — figures in the given order, suites in paper
+    order, schemes in legend order.
+    """
+    pairs: List = []
+    seen = set()
+    for number in figure_numbers:
+        schemes, suites = _figure_matrix(number)
+        for suite in suites:
+            for benchmark in suite:
+                for scheme in schemes:
+                    pair = (benchmark, scheme)
+                    if pair not in seen:
+                        seen.add(pair)
+                        pairs.append(pair)
+    return pairs

@@ -1,8 +1,19 @@
 """Experiment runner: simulate (benchmark, scheme) pairs with caching.
 
-Every figure reuses baseline runs, so results are memoized on
-``(benchmark, scheme_config, num_instructions, seed)``. Traces are also
-cached per ``(benchmark, num_instructions, seed)``.
+Every figure reuses baseline runs, so results are resolved through a
+three-layer cache::
+
+    memory (this runner)  →  disk (ResultStore)  →  simulation
+
+The memory layer keys on ``(benchmark, scheme_config)`` exactly as
+before; the disk layer is content-addressed over the full processor
+config, the benchmark profile, the :class:`RunScale` and the simulator
+version tag (see :mod:`repro.experiments.store`), so a result computed by
+any process at any time is reusable by every later one. Simulations that
+do have to run can be fanned out across a ``multiprocessing`` pool
+(:mod:`repro.experiments.parallel`) via :meth:`ExperimentRunner.run_many`
+— the figure API (``run``/``ipc``/``ipc_loss_pct``) is unchanged and hits
+the warmed memory cache.
 
 ``RunScale`` controls how big each simulation is; the defaults keep the
 full benchmark harness in the minutes range on a laptop. The paper's
@@ -13,17 +24,24 @@ full benchmark harness in the minutes range on a laptop. The paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import IssueSchemeConfig, default_config
 from repro.common.stats import SimulationStats
 from repro.core.processor import Processor
+from repro.experiments.store import ResultStore, result_key
 from repro.workloads.generator import generate_trace
 from repro.workloads.prewarm import prewarm
 from repro.workloads.suites import get_profile
 from repro.workloads.trace import Trace
 
-__all__ = ["RunScale", "ExperimentRunner", "DEFAULT_SCALE"]
+__all__ = [
+    "RunScale",
+    "ExperimentRunner",
+    "CacheTelemetry",
+    "DEFAULT_SCALE",
+    "simulate_pair",
+]
 
 
 @dataclass(frozen=True)
@@ -44,12 +62,75 @@ class RunScale:
 DEFAULT_SCALE = RunScale()
 
 
-class ExperimentRunner:
-    """Runs and caches simulations for the figure generators."""
+@dataclass
+class CacheTelemetry:
+    """Where this runner's results came from, cumulatively."""
 
-    def __init__(self, scale: RunScale = DEFAULT_SCALE) -> None:
+    memory_hits: int = 0
+    disk_hits: int = 0
+    simulations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "simulations": self.simulations,
+        }
+
+
+def simulate_pair(
+    benchmark: str,
+    scheme: IssueSchemeConfig,
+    scale: RunScale,
+    trace: Optional[Trace] = None,
+) -> Tuple[SimulationStats, Trace]:
+    """Simulate one (benchmark, scheme) pair from scratch.
+
+    This is *the* simulation entry point: the serial runner and the
+    multiprocessing workers both call it, so every execution path runs
+    identical code. Pass a previously generated ``trace`` to skip trace
+    generation (traces are deterministic in (profile, length, seed), so a
+    reused trace is indistinguishable from a fresh one). Returns the
+    stats together with the trace for reuse.
+    """
+    profile = get_profile(benchmark)
+    if trace is None:
+        trace = generate_trace(profile, scale.num_instructions, seed=scale.seed)
+    config = default_config(scheme)
+    processor = Processor(config, trace)
+    prewarm(processor.hierarchy, profile, scale.seed)
+    stats = processor.run(warmup_instructions=scale.warmup_instructions)
+    return stats, trace
+
+
+class ExperimentRunner:
+    """Runs and caches simulations for the figure generators.
+
+    ``store`` selects the disk layer: a :class:`ResultStore` uses that
+    store, ``None`` (the default) uses ``$REPRO_CACHE_DIR`` if set and no
+    disk cache otherwise, and ``False`` disables the disk layer outright.
+    ``workers`` is the default pool size for :meth:`run_many` (0 = serial;
+    individual calls may override it).
+    """
+
+    def __init__(
+        self,
+        scale: RunScale = DEFAULT_SCALE,
+        store: Union[ResultStore, None, bool] = None,
+        workers: int = 0,
+    ) -> None:
         scale.validate()
         self.scale = scale
+        if store is None:
+            self.store: Optional[ResultStore] = ResultStore.from_env()
+        elif store is False:
+            self.store = None
+        elif store is True:
+            self.store = ResultStore()
+        else:
+            self.store = store
+        self.workers = workers
+        self.telemetry = CacheTelemetry()
         self._trace_cache: Dict[str, Trace] = {}
         self._result_cache: Dict[Tuple[str, IssueSchemeConfig], SimulationStats] = {}
 
@@ -63,18 +144,102 @@ class ExperimentRunner:
             )
         return self._trace_cache[benchmark]
 
+    def store_key(self, benchmark: str, scheme: IssueSchemeConfig) -> str:
+        """Content address of this pair's result at this runner's scale."""
+        return result_key(default_config(scheme), get_profile(benchmark), self.scale)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cumulative memory-hit / disk-hit / simulation counts."""
+        return self.telemetry.as_dict()
+
+    def _lookup(
+        self, benchmark: str, scheme: IssueSchemeConfig
+    ) -> Optional[SimulationStats]:
+        """Memory then disk lookup; promotes disk hits into memory."""
+        key = (benchmark, scheme)
+        stats = self._result_cache.get(key)
+        if stats is not None:
+            self.telemetry.memory_hits += 1
+            return stats
+        if self.store is not None:
+            stats = self.store.load(self.store_key(benchmark, scheme))
+            if stats is not None:
+                self.telemetry.disk_hits += 1
+                self._result_cache[key] = stats
+                return stats
+        return None
+
+    def _record(
+        self, benchmark: str, scheme: IssueSchemeConfig, stats: SimulationStats
+    ) -> None:
+        """File a freshly simulated result into memory and disk layers."""
+        self.telemetry.simulations += 1
+        self._result_cache[(benchmark, scheme)] = stats
+        if self.store is not None:
+            self.store.save(self.store_key(benchmark, scheme), stats)
+
     def run(self, benchmark: str, scheme: IssueSchemeConfig) -> SimulationStats:
         """Simulate one (benchmark, scheme) pair (cached)."""
-        key = (benchmark, scheme)
-        if key not in self._result_cache:
-            trace = self.trace_for(benchmark)
-            config = default_config(scheme)
-            processor = Processor(config, trace)
-            prewarm(processor.hierarchy, get_profile(benchmark), self.scale.seed)
-            self._result_cache[key] = processor.run(
-                warmup_instructions=self.scale.warmup_instructions
+        stats = self._lookup(benchmark, scheme)
+        if stats is None:
+            stats, trace = simulate_pair(
+                benchmark, scheme, self.scale, trace=self._trace_cache.get(benchmark)
             )
-        return self._result_cache[key]
+            self._trace_cache[benchmark] = trace
+            self._record(benchmark, scheme, stats)
+        return stats
+
+    def run_many(
+        self,
+        pairs: Sequence[Tuple[str, IssueSchemeConfig]],
+        workers: Optional[int] = None,
+    ) -> List[SimulationStats]:
+        """Resolve many pairs at once; results in input order.
+
+        Cached pairs (memory or disk) never reach the pool. The remaining
+        misses run on ``workers`` processes (default: the runner's own
+        ``workers`` setting; 0 or 1 means in-process serial execution).
+        Results are identical to serial :meth:`run` calls in any case —
+        only wall-clock time changes.
+        """
+        workers = self.workers if workers is None else workers
+        misses: List[Tuple[str, IssueSchemeConfig]] = []
+        for benchmark, scheme in pairs:
+            if self._lookup(benchmark, scheme) is None:
+                pair = (benchmark, scheme)
+                if pair not in misses:
+                    misses.append(pair)
+        if misses:
+            if workers and workers > 1:
+                from repro.experiments.parallel import simulate_matrix
+
+                results = simulate_matrix(misses, self.scale, workers)
+            else:
+                results = []
+                for benchmark, scheme in misses:
+                    stats, trace = simulate_pair(
+                        benchmark,
+                        scheme,
+                        self.scale,
+                        trace=self._trace_cache.get(benchmark),
+                    )
+                    self._trace_cache[benchmark] = trace
+                    results.append(stats)
+            for (benchmark, scheme), stats in zip(misses, results):
+                self._record(benchmark, scheme, stats)
+        return [self._result_cache[(b, s)] for b, s in pairs]
+
+    def prefetch(
+        self,
+        pairs: Sequence[Tuple[str, IssueSchemeConfig]],
+        workers: Optional[int] = None,
+    ) -> None:
+        """Warm the memory cache for ``pairs`` (parallel when configured).
+
+        After a prefetch, figure generators calling :meth:`run`/:meth:`ipc`
+        serially hit the memory layer only.
+        """
+        self.run_many(pairs, workers=workers)
 
     def ipc(self, benchmark: str, scheme: IssueSchemeConfig) -> float:
         return self.run(benchmark, scheme).ipc

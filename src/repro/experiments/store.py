@@ -1,0 +1,145 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A campaign sweeps the same (benchmark, scheme) matrix over and over —
+across pytest invocations, CLI sweeps and figure regenerations — and the
+simulator is deterministic, so a result computed once is valid forever
+*for that exact input*. The store therefore addresses each result by a
+SHA-256 over everything that determines it:
+
+* the full :class:`~repro.common.config.ProcessorConfig` (which nests the
+  issue-scheme config — Table 1 knobs and queue geometry alike),
+* the :class:`~repro.workloads.profiles.WorkloadProfile` of the benchmark
+  (so editing a profile invalidates its cached runs),
+* the :class:`~repro.experiments.runner.RunScale` (instructions, warm-up,
+  seed),
+* a simulator version tag, bumped whenever the simulator's behaviour
+  changes (it tracks the package version).
+
+Results live under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-abella04``) as ``<key[:2]>/<key>.json``. Files are
+written atomically (temp file + ``os.replace``), and any unreadable,
+corrupted or version-mismatched file is treated as a miss — the result is
+simply recomputed and rewritten, never trusted.
+
+To force a cold run: delete the cache directory, point
+``REPRO_CACHE_DIR`` somewhere fresh, or pass ``--no-cache`` to the
+campaign CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.common.config import ProcessorConfig, stable_fingerprint
+from repro.common.stats import SimulationStats
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["ResultStore", "SIMULATOR_VERSION_TAG", "result_key", "default_cache_dir"]
+
+#: Stamped into every cache file and hashed into every key. Bump this
+#: whenever a change alters simulated behaviour (timing, energy events,
+#: trace generation) and every stale result silently misses.
+SIMULATOR_VERSION_TAG = "abella04-sim-1"
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-abella04``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-abella04"
+
+
+def result_key(config: ProcessorConfig, profile: WorkloadProfile, scale) -> str:
+    """Content address of one simulation result.
+
+    ``scale`` is a :class:`~repro.experiments.runner.RunScale` (taken
+    untyped to avoid a circular import). Any field change anywhere in the
+    inputs — nested config, profile knob, scale, simulator version —
+    produces a different key.
+    """
+    material = json.dumps(
+        {
+            "version": SIMULATOR_VERSION_TAG,
+            "config": stable_fingerprint(config),
+            "profile": stable_fingerprint(profile),
+            "scale": stable_fingerprint(scale),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Directory of JSON-serialized :class:`SimulationStats`, by key."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultStore"]:
+        """A store at ``$REPRO_CACHE_DIR``, or ``None`` if unset.
+
+        This is the library default: hermetic unless the user opts in.
+        The benchmark harness and the campaign CLI opt in explicitly via
+        :func:`default_cache_dir`.
+        """
+        if os.environ.get(_ENV_VAR):
+            return cls()
+        return None
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small for big sweeps.
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationStats]:
+        """Cached stats for ``key``, or ``None`` on any kind of miss.
+
+        A missing file, unparsable JSON, a payload with missing/mistyped
+        fields, and a simulator version-tag mismatch all read as misses;
+        the caller recomputes and overwrites.
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != SIMULATOR_VERSION_TAG:
+                return None
+            return SimulationStats.from_dict(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def save(self, key: str, stats: SimulationStats) -> Path:
+        """Atomically persist ``stats`` under ``key``; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": SIMULATOR_VERSION_TAG, "key": key, "stats": stats.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of cached results on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

@@ -1,0 +1,21 @@
+"""Suite-wide isolation for the unit tests."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_cache_env():
+    """Keep unit tests away from any real on-disk result cache.
+
+    A developer with ``REPRO_CACHE_DIR`` exported would otherwise have
+    every default-constructed :class:`ExperimentRunner` read (possibly
+    stale) cached stats — masking behaviour changes — and write test
+    results into their real cache. Tests that want the env var set it
+    explicitly via ``monkeypatch.setenv``.
+    """
+    saved = os.environ.pop("REPRO_CACHE_DIR", None)
+    yield
+    if saved is not None:
+        os.environ["REPRO_CACHE_DIR"] = saved

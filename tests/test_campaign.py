@@ -34,3 +34,25 @@ class TestCampaign:
     def test_breakdown_figure_renders(self, small):
         text = run_campaign(small, [9])[9]
         assert "wakeup" in text
+
+
+class TestRequiredRuns:
+    def test_fig7_matrix_is_schemes_times_suite(self, monkeypatch):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip", "crafty"])
+        pairs = fig_mod.required_runs([7])
+        assert len(pairs) == 2 * len(fig_mod.SCHEMES_SECTION4)
+        assert pairs[0][0] == "gzip"
+
+    def test_pairs_are_deduplicated_across_figures(self, monkeypatch):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        monkeypatch.setattr(fig_mod, "FP_BENCHMARKS", ["mesa"])
+        # Figures 12-15 share the exact same matrix.
+        assert fig_mod.required_runs([12, 13, 14, 15]) == fig_mod.required_runs([12])
+
+    def test_campaign_prefetch_covers_generator_needs(self, small):
+        # After rendering via run_campaign (which prefetches), every
+        # simulation the generator triggered came through run_many.
+        run_campaign(small, [7])
+        sims_after_prefetch = small.cache_stats()["simulations"]
+        fig_mod.figure7(small)  # pure memory hits now
+        assert small.cache_stats()["simulations"] == sims_after_prefetch

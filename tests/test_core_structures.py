@@ -170,6 +170,38 @@ class TestReorderBuffer:
         with pytest.raises(SimulationError):
             rob.push(first)
 
+    def test_rollback_age_reissues_same_age(self):
+        rob = ReorderBuffer(4)
+        age = rob.allocate_age()
+        rob.rollback_age()
+        assert rob.allocate_age() == age
+
+    def test_repeated_placement_failure_keeps_ages_dense(self):
+        # Dispatch allocates an age, the issue scheme refuses placement,
+        # dispatch rolls back and retries next cycle — many times in a
+        # row. The instruction must get the same age on every retry, and
+        # the ROB must still accept the eventual push.
+        rob = ReorderBuffer(4)
+        rob.push(make_uop(alu(0, r(1)), rob.allocate_age()))
+        ages = set()
+        for _ in range(5):  # five consecutive failed placements
+            ages.add(rob.allocate_age())
+            rob.rollback_age()
+        assert ages == {1}
+        rob.push(make_uop(alu(1, r(2)), rob.allocate_age()))
+        assert [uop.age for uop in rob] == [0, 1]
+
+    def test_rollback_without_allocation_rejected(self):
+        rob = ReorderBuffer(4)
+        with pytest.raises(SimulationError):
+            rob.rollback_age()
+
+    def test_rollback_of_pushed_age_rejected(self):
+        rob = ReorderBuffer(4)
+        rob.push(make_uop(alu(0, r(1)), rob.allocate_age()))
+        with pytest.raises(SimulationError):
+            rob.rollback_age()
+
 
 class TestLoadStoreQueue:
     def test_load_waits_for_older_store_issue(self):

@@ -80,6 +80,69 @@ class TestRunner:
         assert loss == runner.ipc_loss_pct("gzip", IF_DISTR, BASELINE_UNBOUNDED)
 
 
+class TestCacheLayers:
+    """Memory → disk → execution layering of the reworked runner."""
+
+    def test_hermetic_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert ExperimentRunner(SMALL).store is None
+
+    def test_env_var_enables_disk_layer(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = ExperimentRunner(SMALL)
+        assert runner.store is not None and runner.store.root == tmp_path
+
+    def test_telemetry_counts_each_layer(self, tmp_path):
+        from repro.experiments import ResultStore
+
+        store = ResultStore(tmp_path)
+        first = ExperimentRunner(SMALL, store=store)
+        first.run("gzip", IQ_64_64)  # simulated
+        first.run("gzip", IQ_64_64)  # memory hit
+        assert first.cache_stats() == {
+            "memory_hits": 1, "disk_hits": 0, "simulations": 1,
+        }
+        second = ExperimentRunner(SMALL, store=store)
+        second.run("gzip", IQ_64_64)  # disk hit, promoted to memory
+        second.run("gzip", IQ_64_64)  # memory hit
+        assert second.cache_stats() == {
+            "memory_hits": 1, "disk_hits": 1, "simulations": 0,
+        }
+
+    def test_run_many_preserves_order_and_dedups(self):
+        runner = ExperimentRunner(SMALL, store=False)
+        pairs = [
+            ("gzip", IQ_64_64),
+            ("gzip", IF_DISTR),
+            ("gzip", IQ_64_64),  # duplicate: one simulation, two results
+        ]
+        results = runner.run_many(pairs)
+        assert len(results) == 3
+        assert results[0] is results[2]
+        assert runner.cache_stats()["simulations"] == 2
+        assert results[0] == runner.run("gzip", IQ_64_64)
+
+    def test_prefetch_warms_the_memory_layer(self):
+        runner = ExperimentRunner(SMALL, store=False)
+        runner.prefetch([("gzip", IQ_64_64)])
+        assert runner.cache_stats()["simulations"] == 1
+        runner.run("gzip", IQ_64_64)
+        assert runner.cache_stats()["simulations"] == 1  # no new work
+
+    def test_scale_is_part_of_the_disk_key(self, tmp_path):
+        from repro.experiments import ResultStore
+
+        store = ResultStore(tmp_path)
+        small = ExperimentRunner(SMALL, store=store)
+        small.run("gzip", IQ_64_64)
+        other = ExperimentRunner(
+            RunScale(num_instructions=1400, warmup_instructions=600, seed=7),
+            store=store,
+        )
+        other.run("gzip", IQ_64_64)
+        assert other.cache_stats()["simulations"] == 1  # no false sharing
+
+
 class TestFigureGenerators:
     """Figure functions on a reduced benchmark set (monkeypatched suites)
     so the full test suite stays fast; the benchmarks/ harness runs the

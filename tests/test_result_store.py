@@ -1,0 +1,171 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.config import IssueSchemeConfig, default_config
+from repro.common.stats import SimulationStats, StatCounters
+from repro.experiments import IF_DISTR, IQ_64_64
+from repro.experiments.runner import RunScale
+from repro.experiments.store import (
+    SIMULATOR_VERSION_TAG,
+    ResultStore,
+    result_key,
+)
+from repro.workloads.suites import get_profile
+
+SCALE = RunScale(num_instructions=1200, warmup_instructions=600, seed=7)
+
+
+def make_stats() -> SimulationStats:
+    events = StatCounters()
+    events.add("iq_wakeup", 321)
+    events.add("mux_int_alu", 87)
+    return SimulationStats(
+        cycles=1000,
+        committed_instructions=600,
+        fetched_instructions=640,
+        dispatch_stall_cycles=42,
+        branch_predictions=80,
+        branch_mispredictions=5,
+        events=events,
+    )
+
+
+def key_for(scheme=IQ_64_64, benchmark="gzip", scale=SCALE) -> str:
+    return result_key(default_config(scheme), get_profile(benchmark), scale)
+
+
+class TestStatsRoundTrip:
+    def test_to_from_dict_identity(self):
+        stats = make_stats()
+        clone = SimulationStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone.to_dict() == stats.to_dict()
+        assert clone.events.as_dict() == stats.events.as_dict()
+
+    def test_json_round_trip_is_exact(self):
+        stats = make_stats()
+        clone = SimulationStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+
+    def test_malformed_payload_rejected(self):
+        payload = make_stats().to_dict()
+        del payload["cycles"]
+        with pytest.raises(KeyError):
+            SimulationStats.from_dict(payload)
+        payload = make_stats().to_dict()
+        payload["cycles"] = "1000"
+        with pytest.raises(TypeError):
+            SimulationStats.from_dict(payload)
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load_is_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stats = make_stats()
+        store.save(key_for(), stats)
+        assert store.load(key_for()) == stats
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).load(key_for()) is None
+
+    def test_len_counts_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        store.save(key_for(IQ_64_64), make_stats())
+        store.save(key_for(IF_DISTR), make_stats())
+        assert len(store) == 2
+
+
+class TestKeySensitivity:
+    def test_identical_inputs_share_a_key(self):
+        assert key_for() == key_for()
+
+    def test_every_scheme_field_changes_the_key(self):
+        base = IssueSchemeConfig(
+            kind="issuefifo", int_queues=8, int_queue_entries=8,
+            fp_queues=8, fp_queue_entries=16,
+        )
+        variants = {
+            "kind": "mixbuff",
+            "int_queues": 4,
+            "int_queue_entries": 16,
+            "fp_queues": 4,
+            "fp_queue_entries": 8,
+            "distributed_fus": True,
+        }
+        for field_name, value in variants.items():
+            changed = dataclasses.replace(base, **{field_name: value})
+            assert key_for(changed) != key_for(base), field_name
+
+    def test_every_scale_field_changes_the_key(self):
+        for field_name, value in (
+            ("num_instructions", 2400),
+            ("warmup_instructions", 700),
+            ("seed", 8),
+        ):
+            changed = dataclasses.replace(SCALE, **{field_name: value})
+            assert key_for(scale=changed) != key_for(scale=SCALE), field_name
+
+    def test_benchmark_profile_changes_the_key(self):
+        assert key_for(benchmark="gzip") != key_for(benchmark="mcf")
+
+    def test_table1_knob_changes_the_key(self):
+        config = default_config(IQ_64_64)
+        deeper_rob = dataclasses.replace(config, rob_entries=512)
+        profile = get_profile("gzip")
+        assert result_key(config, profile, SCALE) != result_key(
+            deeper_rob, profile, SCALE
+        )
+
+
+class TestCorruptionFallback:
+    def test_corrupted_json_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.load(key_for()) is None
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["stats"]["events"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load(key_for()) is None
+
+    def test_non_dict_json_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        path.write_text("null", encoding="utf-8")
+        assert store.load(key_for()) is None
+        path.write_text('["valid", "json", "wrong", "shape"]', encoding="utf-8")
+        assert store.load(key_for()) is None
+
+    def test_events_of_wrong_shape_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["stats"]["events"] = ["not", "a", "mapping"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load(key_for()) is None
+
+    def test_version_tag_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == SIMULATOR_VERSION_TAG
+        payload["version"] = "abella04-sim-0"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load(key_for()) is None
+
+    def test_recompute_overwrites_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        path.write_text("garbage", encoding="utf-8")
+        stats = make_stats()
+        store.save(key_for(), stats)  # what a runner does after the miss
+        assert store.load(key_for()) == stats
