@@ -11,12 +11,18 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — dynamic instructions per run (default 4000);
   raising it gives higher-fidelity numbers and a different cache
   universe (scale is part of the cache key).
+* ``REPRO_BENCH_KERNEL`` — simulation kernel, ``skip`` (default) or
+  ``naive``; results are bit-identical, only wall time changes (and the
+  kernel is *not* part of the cache key).
 * ``REPRO_CACHE_DIR`` — where results persist (default
   ``~/.cache/repro-abella04``). Delete the directory for a cold run.
 
 Each benchmark's pytest-benchmark record carries ``extra_info`` with its
-wall time and the memory-hit/disk-hit/simulation deltas it caused, so
-BENCH_*.json files capture the cache speedup trajectory run over run.
+wall time, the memory-hit/disk-hit/simulation deltas it caused, and the
+simulation-kernel telemetry (cycles actually executed vs. skipped by the
+event wheel), so BENCH_*.json files capture both the cache speedup
+trajectory and how much simulated time the cycle-skipping kernel jumped
+over.
 """
 
 import os
@@ -24,6 +30,7 @@ import time
 
 import pytest
 
+from repro.core import engine
 from repro.experiments import ExperimentRunner, ResultStore, RunScale, default_cache_dir
 
 _DEFAULT_INSTRUCTIONS = 4000
@@ -34,6 +41,10 @@ def _scale() -> RunScale:
     return RunScale(num_instructions=n, warmup_instructions=n // 2, seed=11)
 
 
+def _kernel() -> str:
+    return os.environ.get("REPRO_BENCH_KERNEL", "skip")
+
+
 @pytest.fixture(scope="session")
 def cache_dir():
     """Directory backing the session's result store (persists across runs)."""
@@ -42,7 +53,7 @@ def cache_dir():
 
 @pytest.fixture(scope="session")
 def runner(request, cache_dir) -> ExperimentRunner:
-    shared = ExperimentRunner(_scale(), store=ResultStore(cache_dir))
+    shared = ExperimentRunner(_scale(), store=ResultStore(cache_dir), kernel=_kernel())
     request.config._repro_runner = shared
     return shared
 
@@ -63,6 +74,7 @@ def _cache_telemetry(request, runner):
         else None
     )
     before = runner.cache_stats()
+    kernel_before = engine.GLOBAL_TELEMETRY.as_dict()
     started = time.perf_counter()
     yield
     elapsed = time.perf_counter() - started
@@ -70,9 +82,15 @@ def _cache_telemetry(request, runner):
         f"cache_{name}": after - before[name]
         for name, after in runner.cache_stats().items()
     }
+    kernel_delta = {
+        f"kernel_{name}": after - kernel_before[name]
+        for name, after in engine.GLOBAL_TELEMETRY.as_dict().items()
+    }
     if benchmark is not None:
         benchmark.extra_info["wall_time_s"] = round(elapsed, 3)
+        benchmark.extra_info["kernel"] = _kernel()
         benchmark.extra_info.update(delta)
+        benchmark.extra_info.update(kernel_delta)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -85,3 +103,11 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         f"repro cache: {stats['simulations']} simulated, "
         f"{stats['disk_hits']} disk hits, {stats['memory_hits']} memory hits"
     )
+    telemetry = engine.GLOBAL_TELEMETRY
+    if telemetry.total_cycles:
+        skipped_pct = 100.0 * telemetry.skipped_cycles / telemetry.total_cycles
+        terminalreporter.write_line(
+            f"repro kernel [{_kernel()}]: {telemetry.executed_cycles} cycles "
+            f"executed, {telemetry.skipped_cycles} skipped ({skipped_pct:.1f}%) "
+            f"in {telemetry.skip_spans} spans"
+        )

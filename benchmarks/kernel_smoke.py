@@ -1,0 +1,92 @@
+"""One-figure kernel smoke benchmark for CI.
+
+Runs a single figure's (benchmark, scheme) matrix cold — no disk cache —
+under both simulation kernels and records wall time plus the
+simulated-vs-skipped cycle telemetry as a ``BENCH_kernel_smoke.json``
+artifact. This is the recorded evidence that (a) the cycle-skipping
+kernel and the naive kernel agree bit-for-bit on the whole matrix and
+(b) how much simulated time and wall clock the event wheel saves.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_smoke.py [--figure 2]
+        [--scale 2000] [--output BENCH_kernel_smoke.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.core import engine
+from repro.experiments import figures as fig_mod
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.workloads.prewarm import clear_prewarm_cache
+
+
+def run_smoke(figure: int, scale_instructions: int) -> dict:
+    scale = RunScale(
+        num_instructions=scale_instructions,
+        warmup_instructions=scale_instructions // 2,
+        seed=11,
+    )
+    pairs = fig_mod.required_runs([figure])
+    report: dict = {
+        "figure": figure,
+        "scale": scale_instructions,
+        "pairs": len(pairs),
+        "python": platform.python_version(),
+        "kernels": {},
+    }
+    payloads = {}
+    for kernel in ("naive", "skip"):
+        engine.GLOBAL_TELEMETRY.reset()
+        clear_prewarm_cache()
+        runner = ExperimentRunner(scale, store=False, kernel=kernel)
+        started = time.perf_counter()
+        stats_list = runner.run_many(pairs)
+        wall = time.perf_counter() - started
+        telemetry = engine.GLOBAL_TELEMETRY
+        payloads[kernel] = [stats.to_dict() for stats in stats_list]
+        report["kernels"][kernel] = {
+            "wall_time_s": round(wall, 3),
+            "cycles_executed": telemetry.executed_cycles,
+            "cycles_skipped": telemetry.skipped_cycles,
+            "skip_spans": telemetry.skip_spans,
+        }
+    naive = report["kernels"]["naive"]
+    skip = report["kernels"]["skip"]
+    report["bit_identical"] = payloads["naive"] == payloads["skip"]
+    report["speedup_skip_vs_naive"] = round(
+        naive["wall_time_s"] / max(skip["wall_time_s"], 1e-9), 3
+    )
+    total = skip["cycles_executed"] + skip["cycles_skipped"]
+    report["skipped_cycle_fraction"] = round(
+        skip["cycles_skipped"] / max(total, 1), 4
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", type=int, default=2,
+                        help="figure whose matrix to run (default: 2, the "
+                             "SPECINT IssueFIFO sweep incl. memory-bound mcf)")
+    parser.add_argument("--scale", type=int, default=2000,
+                        help="dynamic instructions per run (half is warm-up)")
+    parser.add_argument("--output", type=str, default="BENCH_kernel_smoke.json")
+    args = parser.parse_args(argv)
+    report = run_smoke(args.figure, args.scale)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["bit_identical"]:
+        print("FATAL: kernels disagree — the skipping kernel is unsound")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

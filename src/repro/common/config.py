@@ -21,6 +21,9 @@ __all__ = [
     "FunctionalUnitConfig",
     "IssueSchemeConfig",
     "ProcessorConfig",
+    "KERNEL_NAIVE",
+    "KERNEL_SKIP",
+    "VALID_KERNELS",
     "default_config",
     "scheme_name",
     "stable_fingerprint",
@@ -34,10 +37,17 @@ def stable_fingerprint(obj) -> str:
     anything hashed from it — is stable across processes and Python
     versions. Every config field is a str/int/float/bool/None, which JSON
     renders deterministically.
+
+    Fields named in the class's ``_FINGERPRINT_EXCLUDE`` tuple are left
+    out: they select an execution strategy (e.g. the simulation kernel)
+    whose results are bit-identical by contract, so they must not split
+    the content-addressed result cache.
     """
     if not is_dataclass(obj):
         raise TypeError(f"can only fingerprint dataclasses, got {type(obj).__name__}")
     payload = {"__type__": type(obj).__name__, **asdict(obj)}
+    for name in getattr(type(obj), "_FINGERPRINT_EXCLUDE", ()):
+        payload.pop(name, None)
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
@@ -180,6 +190,13 @@ class FunctionalUnitConfig(_Fingerprinted):
             raise ConfigurationError("all latencies must be >= 1 cycle")
 
 
+# Simulation-kernel constants (see repro.core.engine). The kernel is an
+# execution strategy, not simulated behaviour: both kernels must produce
+# bit-identical SimulationStats for every input.
+KERNEL_NAIVE = "naive"
+KERNEL_SKIP = "skip"
+VALID_KERNELS = (KERNEL_NAIVE, KERNEL_SKIP)
+
 # Scheme kind constants (strings keep configs printable and hashable).
 SCHEME_CONVENTIONAL = "conventional"
 SCHEME_ISSUEFIFO = "issuefifo"
@@ -299,6 +316,14 @@ class ProcessorConfig(_Fingerprinted):
     fus: FunctionalUnitConfig = field(default_factory=FunctionalUnitConfig)
     scheme: IssueSchemeConfig = field(default_factory=IssueSchemeConfig)
     technology_um: float = 0.10
+    #: Simulation kernel: "skip" (event-driven cycle skipping, the
+    #: default) or "naive" (tick every cycle). Both are bit-identical in
+    #: every reported statistic — the knob only trades wall-clock time —
+    #: so the field is excluded from cache fingerprints below.
+    kernel: str = KERNEL_SKIP
+
+    # Execution-strategy fields that must not split the result cache.
+    _FINGERPRINT_EXCLUDE = ("kernel",)
 
     def validate(self) -> None:
         """Validate every nested configuration object."""
@@ -321,6 +346,10 @@ class ProcessorConfig(_Fingerprinted):
             raise ConfigurationError("need more FP physical than architectural registers")
         if self.mispredict_redirect_penalty < 0:
             raise ConfigurationError("redirect penalty cannot be negative")
+        if self.kernel not in VALID_KERNELS:
+            raise ConfigurationError(
+                f"unknown simulation kernel {self.kernel!r}; valid: {VALID_KERNELS}"
+            )
         if not 0.01 <= self.technology_um <= 1.0:
             raise ConfigurationError("technology node out of supported range")
         self.icache.validate()
@@ -334,6 +363,10 @@ class ProcessorConfig(_Fingerprinted):
     def with_scheme(self, scheme: IssueSchemeConfig) -> "ProcessorConfig":
         """Return a copy of this config with a different issue scheme."""
         return replace(self, scheme=scheme)
+
+    def with_kernel(self, kernel: str) -> "ProcessorConfig":
+        """Return a copy of this config with a different simulation kernel."""
+        return replace(self, kernel=kernel)
 
 
 def default_config(scheme: Optional[IssueSchemeConfig] = None) -> ProcessorConfig:

@@ -1,5 +1,11 @@
 """Out-of-order core substrate and the top-level processor model."""
 
+from repro.core.engine import (
+    GLOBAL_TELEMETRY,
+    KERNEL_NAIVE,
+    KERNEL_SKIP,
+    KernelTelemetry,
+)
 from repro.core.functional_units import (
     DistributedFuPool,
     FunctionalUnit,
@@ -17,7 +23,11 @@ __all__ = [
     "DistributedFuPool",
     "FuPool",
     "FunctionalUnit",
+    "GLOBAL_TELEMETRY",
     "InFlight",
+    "KERNEL_NAIVE",
+    "KERNEL_SKIP",
+    "KernelTelemetry",
     "LoadStoreQueue",
     "PhysicalRegister",
     "PooledFuPool",

@@ -1,0 +1,188 @@
+"""Simulation kernels: the per-cycle driver and the event-driven skipper.
+
+The :class:`~repro.core.processor.Processor` owns the pipeline *stages*;
+this module owns the *loop* that drives them. Two kernels share the same
+stage code and must be bit-identical in every reported statistic:
+
+``naive``
+    Tick :meth:`Processor.step` once per simulated cycle — the seed
+    behaviour, kept as the reference implementation.
+
+``skip``
+    An event-driven kernel. After a cycle in which *nothing* happened
+    (no branch resolved, nothing committed, no result broadcast, nothing
+    issued, dispatched, decoded or fetched, and the fetch engine's state
+    did not move), the machine is quiescent: every stage's decision next
+    cycle is a pure function of frozen state plus the cycle number. The
+    kernel then asks every stateful component for its
+    ``next_activity_cycle()`` — the event wheel over the completion,
+    broadcast and branch-resolution schedules, the I-cache fill timer,
+    functional-unit busy windows, MixBUFF chain-latency code boundaries
+    and LatFIFO estimate-driven placement — and jumps straight to the
+    earliest such event instead of spinning.
+
+    Per-cycle accounting (issue-queue selection energy, ready-table
+    polling, dispatch-stall counters, occupancy integration) still
+    accrues during quiescent cycles, so skipped spans are accounted in
+    *interval form*: the kernel executes **one** extra quiescent cycle,
+    measures the exact counter delta that cycle produced, and replays it
+    ``n`` times in closed form via :meth:`Processor.advance_idle`.
+    Because every cycle-dependent decision boundary is a wake event, the
+    measured cycle is provably representative of the whole span, and the
+    skipping run is bit-identical to the naive one by construction
+    (``tests/test_kernel_equivalence.py`` and the golden-stats net
+    enforce this).
+
+Telemetry: each run fills ``processor.kernel_telemetry`` and the
+process-wide :data:`GLOBAL_TELEMETRY` accumulator with the number of
+cycles actually executed vs. skipped, so benchmarks can report how much
+simulated time the event wheel jumped over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.config import KERNEL_NAIVE, KERNEL_SKIP, VALID_KERNELS
+from repro.common.errors import SimulationError
+
+__all__ = [
+    "KernelTelemetry",
+    "GLOBAL_TELEMETRY",
+    "KERNEL_NAIVE",
+    "KERNEL_SKIP",
+    "VALID_KERNELS",
+    "run_kernel",
+    "run_naive",
+    "run_skipping",
+]
+
+
+@dataclass
+class KernelTelemetry:
+    """How a run's simulated cycles were covered."""
+
+    executed_cycles: int = 0
+    skipped_cycles: int = 0
+    skip_spans: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.executed_cycles + self.skipped_cycles
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "executed_cycles": self.executed_cycles,
+            "skipped_cycles": self.skipped_cycles,
+            "skip_spans": self.skip_spans,
+        }
+
+    def merge(self, other: "KernelTelemetry") -> None:
+        self.executed_cycles += other.executed_cycles
+        self.skipped_cycles += other.skipped_cycles
+        self.skip_spans += other.skip_spans
+
+    def reset(self) -> None:
+        self.executed_cycles = 0
+        self.skipped_cycles = 0
+        self.skip_spans = 0
+
+
+#: Process-wide accumulator across every run in this process (workers
+#: fold theirs into the parent's via the parallel result payloads).
+GLOBAL_TELEMETRY = KernelTelemetry()
+
+
+def _no_progress(processor, cycle: int, committed: int, total: int) -> SimulationError:
+    return SimulationError(
+        f"{processor.scheme.name} on {processor.trace.name}: no forward progress "
+        f"after {cycle} cycles ({committed}/{total} committed)"
+    )
+
+
+def run_naive(processor, total: int, max_cycles: int, warmup_instructions: int):
+    """Reference kernel: execute every simulated cycle."""
+    telemetry = processor.kernel_telemetry
+    committed = 0
+    cycle = 0
+    snapshot: Optional[dict] = None
+    while committed < total:
+        if cycle > max_cycles:
+            raise _no_progress(processor, cycle, committed, total)
+        _, retired = processor.step(cycle)
+        committed += retired
+        cycle += 1
+        telemetry.executed_cycles += 1
+        if snapshot is None and committed >= warmup_instructions:
+            snapshot = processor._snapshot(cycle, committed)
+    processor._finalize(cycle, committed, snapshot)
+    return processor.stats
+
+
+def run_skipping(processor, total: int, max_cycles: int, warmup_instructions: int):
+    """Event-driven kernel: jump over provably quiescent cycle spans."""
+    telemetry = processor.kernel_telemetry
+    committed = 0
+    cycle = 0
+    snapshot: Optional[dict] = None
+    while committed < total:
+        if cycle > max_cycles:
+            raise _no_progress(processor, cycle, committed, total)
+        active, retired = processor.step(cycle)
+        committed += retired
+        cycle += 1
+        telemetry.executed_cycles += 1
+        if snapshot is None and committed >= warmup_instructions:
+            snapshot = processor._snapshot(cycle, committed)
+        if active or committed >= total:
+            continue
+        # The cycle just executed was quiescent. Find the next cycle at
+        # which any stage's decision could differ from replaying it.
+        target = processor.next_event_cycle(cycle)
+        if target is None:
+            # Quiescent with nothing scheduled: the naive kernel would
+            # spin to max_cycles and raise; fail fast instead.
+            raise _no_progress(processor, cycle, committed, total)
+        if target <= cycle + 1:
+            continue  # nothing to skip — the next cycle is (or may be) live
+        # Execute one more quiescent cycle to measure the exact per-cycle
+        # accounting pattern of this span (selection energy, ready-table
+        # polls, stall counters, occupancy, ...).
+        if cycle > max_cycles:
+            raise _no_progress(processor, cycle, committed, total)
+        before = processor.idle_accounting_snapshot()
+        active, retired = processor.step(cycle)
+        committed += retired
+        cycle += 1
+        telemetry.executed_cycles += 1
+        if snapshot is None and committed >= warmup_instructions:
+            snapshot = processor._snapshot(cycle, committed)
+        if active:
+            continue  # a wake source was conservative; no skip, no harm
+        span = min(target, max_cycles + 1) - cycle
+        if span > 0:
+            processor.advance_idle(before, span)
+            cycle += span
+            telemetry.skipped_cycles += span
+            telemetry.skip_spans += 1
+    processor._finalize(cycle, committed, snapshot)
+    return processor.stats
+
+
+_KERNELS = {KERNEL_NAIVE: run_naive, KERNEL_SKIP: run_skipping}
+
+
+def run_kernel(processor, kernel: str, total: int, max_cycles: int,
+               warmup_instructions: int):
+    """Dispatch to the requested kernel and fold telemetry globally."""
+    try:
+        runner = _KERNELS[kernel]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation kernel {kernel!r}; valid: {sorted(_KERNELS)}"
+        ) from None
+    try:
+        return runner(processor, total, max_cycles, warmup_instructions)
+    finally:
+        GLOBAL_TELEMETRY.merge(processor.kernel_telemetry)

@@ -69,6 +69,30 @@ class FuPool:
         """
         raise NotImplementedError
 
+    def all_units(self) -> List[FunctionalUnit]:
+        """Every unit in the pool, for generic sweeps."""
+        units: List[FunctionalUnit] = []
+        for fu_type in FuType:
+            units.extend(self.units_of(fu_type))
+        return units
+
+    def next_activity_cycle(self, cycle: int) -> Optional[int]:
+        """Skipping-kernel contract: next cycle a busy unit frees up.
+
+        An unpipelined op (a divide) occupies its unit through
+        ``busy_until``; an instruction whose operands are ready may be
+        waiting solely on that unit, so the cycle after it frees is a
+        wake event. ``last_issue_cycle`` needs no timer: it only blocks
+        the issue cycle itself, and a cycle in which something issued is
+        never quiescent.
+        """
+        upcoming = [
+            unit.busy_until + 1
+            for unit in self.all_units()
+            if unit.busy_until + 1 >= cycle
+        ]
+        return min(upcoming) if upcoming else None
+
 
 class PooledFuPool(FuPool):
     """Baseline organization: any unit of the right type."""

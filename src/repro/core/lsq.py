@@ -120,3 +120,12 @@ class LoadStoreQueue:
             if store.store_addr_known_cycle is None:
                 return seq
         return -1
+
+    def next_activity_cycle(self, cycle: int) -> Optional[int]:
+        """Skipping-kernel contract: all LSQ transitions are event-driven.
+
+        Load gating changes only when an older store issues or retires —
+        both are pipeline activity, never a pure function of the cycle
+        number — so the LSQ contributes no timer of its own.
+        """
+        return None

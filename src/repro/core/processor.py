@@ -1,4 +1,4 @@
-"""The out-of-order pipeline driver.
+"""The out-of-order pipeline stages.
 
 Stage order inside one simulated cycle (back to front, the usual trick so
 a value produced this cycle is visible next cycle):
@@ -18,6 +18,15 @@ has its result available to consumers issuing at *t+L* (full bypass).
 Loads add the L1D/L2/memory access on top of address computation, subject
 to the LSQ's disambiguation constraints; stores complete when their
 address is computed (data is written to the cache at commit).
+
+The *loop* that drives :meth:`Processor.step` lives in
+:mod:`repro.core.engine`: the naive kernel ticks every cycle, the
+event-driven kernel proves quiescence and jumps over dead spans. The
+processor supports the skipper through three hooks — :meth:`step`'s
+activity flag, :meth:`next_event_cycle` (the union of every component's
+``next_activity_cycle`` contract) and
+:meth:`idle_accounting_snapshot`/:meth:`advance_idle` (interval-form
+per-cycle accounting).
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.common.config import ProcessorConfig
 from repro.common.errors import SimulationError
 from repro.common.stats import SimulationStats, StatCounters
+from repro.core import engine
 from repro.core.functional_units import DistributedFuPool, FuPool, PooledFuPool
 from repro.core.lsq import LoadStoreQueue
 from repro.core.rename import RenameMap
@@ -90,6 +100,11 @@ class Processor:
         self._branch_resolutions: Dict[int, List[InFlight]] = {}
         self.stats = SimulationStats(events=self.events)
         self._occupancy_accum = 0
+        # Instruction the issue scheme refused to place this cycle (None
+        # when dispatch was not scheme-stalled); the skipping kernel uses
+        # it to ask the scheme for its next placement-relevant cycle.
+        self._dispatch_blocked_inst: Optional[Instruction] = None
+        self.kernel_telemetry = engine.KernelTelemetry()
 
     def _build_fu_pool(self) -> FuPool:
         scheme_cfg = self.config.scheme
@@ -137,12 +152,14 @@ class Processor:
     # ------------------------------------------------------------------
     # Pipeline stages.
     # ------------------------------------------------------------------
-    def _resolve_branches(self, cycle: int) -> None:
-        for uop in self._branch_resolutions.pop(cycle, ()):  # resolved now
+    def _resolve_branches(self, cycle: int) -> int:
+        resolved = self._branch_resolutions.pop(cycle, ())
+        for uop in resolved:  # resolved now
             was_blocking = self.fetch.blocked_on_branch == uop.seq
             self.fetch.resolve_branch(uop.seq, cycle)
             if was_blocking:
                 self.scheme.on_mispredict_resolved()
+        return len(resolved)
 
     def _commit(self, cycle: int) -> int:
         retired = self.rob.commit_ready(cycle, self.config.commit_width)
@@ -154,7 +171,7 @@ class Processor:
                 self.hierarchy.data_access_latency(uop.inst.mem_addr, is_store=True)
         return len(retired)
 
-    def _issue(self, cycle: int) -> None:
+    def _issue(self, cycle: int) -> int:
         ctx = IssueContext(
             cycle,
             self.config,
@@ -165,10 +182,12 @@ class Processor:
         )
         self.scheme.select_and_issue(ctx)
         self.events.add("instructions_issued", len(ctx.issued))
+        return len(ctx.issued)
 
-    def _dispatch(self, cycle: int) -> None:
+    def _dispatch(self, cycle: int) -> int:
         dispatched = 0
         stalled = False
+        self._dispatch_blocked_inst = None
         while (
             self._decode_queue
             and self._decode_queue[0][1] <= cycle
@@ -192,6 +211,7 @@ class Processor:
                 # stay dense and retry next cycle.
                 self.rob.rollback_age()
                 stalled = True
+                self._dispatch_blocked_inst = inst
                 break
             self._decode_queue.popleft()
             renamed = self.renamer.rename(inst.srcs, inst.dest)
@@ -206,21 +226,132 @@ class Processor:
             dispatched += 1
         if stalled:
             self.stats.dispatch_stall_cycles += 1
+        return dispatched
 
-    def _decode(self, cycle: int) -> None:
+    def _decode(self, cycle: int) -> int:
         room = 2 * self.config.decode_width - len(self._decode_queue)
         if room <= 0:
-            return
-        for inst in self.fetch.pop_instructions(min(room, self.config.decode_width)):
+            return 0
+        moved = self.fetch.pop_instructions(min(room, self.config.decode_width))
+        for inst in moved:
             self._decode_queue.append((inst, cycle + _DECODE_LATENCY))
+        return len(moved)
 
     # ------------------------------------------------------------------
-    # Main loop.
+    # One simulated cycle (driven by a repro.core.engine kernel).
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> Tuple[bool, int]:
+        """Execute one simulated cycle; returns ``(activity, retired)``.
+
+        ``activity`` is False only when the machine was fully quiescent:
+        no branch resolved, nothing committed, no result broadcast,
+        nothing issued, dispatched, decoded or fetched, and the fetch
+        engine's internal state (I-cache line tracking and timers) did
+        not move. After such a cycle every stage's behaviour is a frozen
+        function of state plus the cycle number, which is what lets the
+        skipping kernel jump to the next scheduled event.
+        """
+        resolved = self._resolve_branches(cycle)
+        retired = self._commit(cycle)
+        broadcasts = self._broadcasts.pop(cycle, 0)
+        self.scheme.on_result_broadcast(cycle, broadcasts)
+        issued = self._issue(cycle)
+        dispatched = self._dispatch(cycle)
+        decoded = self._decode(cycle)
+        fetch_token = self.fetch.state_token()
+        fetched = self.fetch.fetch_cycle(cycle)
+        self.scheme.on_cycle_end(cycle)
+        self._occupancy_accum += self.scheme.occupancy()
+        activity = bool(
+            resolved
+            or retired
+            or broadcasts
+            or issued
+            or dispatched
+            or decoded
+            or fetched
+            or self.fetch.state_token() != fetch_token
+        )
+        return activity, retired
+
+    # ------------------------------------------------------------------
+    # Event wheel and interval accounting (skipping-kernel support).
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle ``>= cycle`` at which any stage could act again.
+
+        ``cycle`` is the index of the next *unexecuted* cycle; an event
+        falling exactly there means there is nothing to skip. Valid only
+        immediately after a quiescent :meth:`step`. The union
+        of every component's ``next_activity_cycle`` contract: pending
+        result broadcasts and branch resolutions, the ROB head's
+        completion, the I-cache fill timer, functional-unit busy windows
+        and the scheme's own cycle-dependent boundaries (MixBUFF
+        chain-latency codes, LatFIFO estimate-driven placement). Returns
+        ``None`` when nothing is scheduled — a true deadlock.
+        """
+        candidates = []
+        if self._broadcasts:
+            candidates.append(min(self._broadcasts))
+        if self._branch_resolutions:
+            candidates.append(min(self._branch_resolutions))
+        for component in (self.rob, self.fetch, self.fu_pool, self.lsq,
+                          self.scoreboard, self.scheme):
+            when = component.next_activity_cycle(cycle)
+            if when is not None:
+                candidates.append(when)
+        if self._dispatch_blocked_inst is not None:
+            when = self.scheme.next_dispatch_activity_cycle(
+                self._dispatch_blocked_inst, cycle
+            )
+            if when is not None:
+                candidates.append(when)
+        upcoming = [when for when in candidates if when >= cycle]
+        return min(upcoming) if upcoming else None
+
+    def idle_accounting_snapshot(self) -> dict:
+        """Snapshot of every counter a quiescent cycle can move."""
+        return {
+            "events": self.events.as_dict(),
+            "dispatch_stall_cycles": self.stats.dispatch_stall_cycles,
+            "fetch_blocked_cycles": self.fetch.blocked_cycles,
+            "occupancy_accum": self._occupancy_accum,
+            "scheme": self.scheme.idle_counters(),
+        }
+
+    def advance_idle(self, before: dict, n_cycles: int) -> None:
+        """Account ``n_cycles`` quiescent cycles in closed form.
+
+        ``before`` is an :meth:`idle_accounting_snapshot` taken just
+        before one fully executed quiescent cycle; the delta between then
+        and now is exactly what each skipped cycle would have accrued
+        (selection energy, ready-table polls, stall counters, occupancy
+        integration), so it is replayed ``n_cycles`` times.
+        """
+        before_events = before["events"]
+        for name, value in self.events.as_dict().items():
+            delta = value - before_events.get(name, 0)
+            if delta:
+                self.events.add(name, delta * n_cycles)
+        self.stats.dispatch_stall_cycles += n_cycles * (
+            self.stats.dispatch_stall_cycles - before["dispatch_stall_cycles"]
+        )
+        self.fetch.blocked_cycles += n_cycles * (
+            self.fetch.blocked_cycles - before["fetch_blocked_cycles"]
+        )
+        self._occupancy_accum += n_cycles * (
+            self._occupancy_accum - before["occupancy_accum"]
+        )
+        self.scheme.apply_idle_counters(before["scheme"], n_cycles)
+
+    # ------------------------------------------------------------------
+    # Main entry point.
     # ------------------------------------------------------------------
     def run(
         self,
         max_cycles: Optional[int] = None,
         warmup_instructions: int = 0,
+        kernel: Optional[str] = None,
     ) -> SimulationStats:
         """Simulate until the whole trace commits; returns the stats.
 
@@ -228,35 +359,19 @@ class Processor:
         every reported statistic and energy event (caches, predictor and
         queues stay warm across the boundary) — the software analogue of
         the paper's "after skipping the initialization part".
+
+        ``kernel`` selects the simulation loop (``"naive"`` or
+        ``"skip"``, default: the config's ``kernel`` field). Both kernels
+        produce bit-identical statistics; only wall-clock time differs.
         """
         total = len(self.trace)
         if warmup_instructions >= total:
             raise SimulationError("warmup must be shorter than the trace")
         if max_cycles is None:
             max_cycles = 400 * total + 100_000
-        committed = 0
-        cycle = 0
-        snapshot: Optional[dict] = None
-        while committed < total:
-            if cycle > max_cycles:
-                raise SimulationError(
-                    f"{self.scheme.name} on {self.trace.name}: no forward progress "
-                    f"after {cycle} cycles ({committed}/{total} committed)"
-                )
-            self._resolve_branches(cycle)
-            committed += self._commit(cycle)
-            self.scheme.on_result_broadcast(cycle, self._broadcasts.pop(cycle, 0))
-            self._issue(cycle)
-            self._dispatch(cycle)
-            self._decode(cycle)
-            self.fetch.fetch_cycle(cycle)
-            self.scheme.on_cycle_end(cycle)
-            self._occupancy_accum += self.scheme.occupancy()
-            cycle += 1
-            if snapshot is None and committed >= warmup_instructions:
-                snapshot = self._snapshot(cycle, committed)
-        self._finalize(cycle, committed, snapshot)
-        return self.stats
+        if kernel is None:
+            kernel = self.config.kernel
+        return engine.run_kernel(self, kernel, total, max_cycles, warmup_instructions)
 
     def _snapshot(self, cycle: int, committed: int) -> dict:
         """Record the warm-up boundary so _finalize can report deltas."""

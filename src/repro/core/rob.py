@@ -10,7 +10,7 @@ identical).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.core.uop import InFlight
@@ -88,6 +88,20 @@ class ReorderBuffer:
     def head_seq(self) -> int:
         """Sequence number of the oldest in-flight instruction (or -1)."""
         return self._entries[0].seq if self._entries else -1
+
+    def next_activity_cycle(self, cycle: int) -> Optional[int]:
+        """Skipping-kernel contract: next cycle commit could retire.
+
+        Only the head gates commit. If it has issued, its completion
+        cycle is scheduled and is the next commit opportunity; if it has
+        not, retirement first needs an issue event, which other wake
+        sources (broadcasts, functional units) already cover.
+        """
+        if self._entries and self._entries[0].completed:
+            when = self._entries[0].complete_cycle
+            if when >= cycle:
+                return when
+        return None
 
     def __iter__(self):
         return iter(self._entries)

@@ -9,7 +9,7 @@ architectural state is available at cycle 0.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 __all__ = ["Scoreboard", "NEVER"]
 
@@ -69,3 +69,13 @@ class Scoreboard:
             if r > latest:
                 latest = r
         return latest
+
+    def next_activity_cycle(self, cycle: int) -> Optional[int]:
+        """Skipping-kernel contract: readiness transitions need no timer.
+
+        Every ``set_ready`` call is paired with a result-broadcast entry
+        in the pipeline's event wheel (``Processor._schedule_completion``
+        records both under the same completion cycle), so a register
+        becoming ready is always covered by the broadcast wake source.
+        """
+        return None

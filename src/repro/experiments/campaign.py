@@ -3,8 +3,9 @@
 Command line::
 
     python -m repro.experiments.campaign [--scale N] [--figures 2,3,8]
-        [--workers N] [--benchmarks int|fp|all] [--cache-dir DIR]
-        [--no-cache]
+        [--schemes IQ_64_64,IF_distr] [--workers N]
+        [--benchmarks int|fp|all] [--kernel naive|skip]
+        [--cache-dir DIR] [--no-cache]
 
 This is the batch entry point behind the per-figure benchmarks: it
 shares one cached runner across all figures, prefetches the whole
@@ -13,6 +14,20 @@ and reuses any result already present in the on-disk store, so the whole
 campaign costs one simulation per (benchmark, scheme) pair *ever*, not
 per invocation. Pass ``--no-cache`` to force every simulation to run
 fresh in this process (a cold run that also leaves the store untouched).
+
+``--figures`` recomputes a single figure (or a few) without sweeping the
+whole suite; ``--schemes`` narrows further to the named scheme
+configurations (paper names, e.g. ``IQ_64_64`` or
+``IssueFIFO_8x8_16x16``). Because a figure needs its *full* matrix to
+render, a ``--schemes`` run is a warm-only sweep: it simulates (and
+caches) exactly the selected pairs and reports what it did instead of
+rendering — rerun with ``--figures`` alone afterwards to render from the
+warm cache.
+
+``--kernel`` selects the simulation loop (see :mod:`repro.core.engine`):
+``skip`` (default) jumps over provably dead cycles, ``naive`` ticks every
+cycle. Results are bit-identical; the campaign footer reports how many
+cycles were actually executed vs. skipped.
 """
 
 from __future__ import annotations
@@ -21,6 +36,8 @@ import argparse
 import time
 from typing import Callable, Dict, List
 
+from repro.common.config import scheme_name
+from repro.core import engine
 from repro.experiments import figures as fig_mod
 from repro.experiments.report import render_breakdown, render_series, render_table
 from repro.experiments.runner import ExperimentRunner, RunScale
@@ -104,12 +121,21 @@ def main(argv: List[str] = None) -> None:
     parser.add_argument("--figures", type=str, default=None,
                         help="comma-separated figure numbers (default: all "
                              "compatible with --benchmarks)")
+    parser.add_argument("--schemes", type=str, default=None,
+                        help="comma-separated scheme names (paper naming, "
+                             "e.g. IQ_64_64,IF_distr): simulate only those "
+                             "pairs of the selected figures and skip "
+                             "rendering (a warm-only sweep)")
     parser.add_argument("--workers", type=int, default=0,
                         help="simulation worker processes (0 = serial)")
     parser.add_argument("--benchmarks", choices=("int", "fp", "all"),
                         default="all",
                         help="restrict the sweep to one SPEC suite "
                              "(int: figures 2,7; fp: figures 3,4,6,8)")
+    parser.add_argument("--kernel", choices=("naive", "skip"), default="skip",
+                        help="simulation kernel: event-driven cycle "
+                             "skipping (default) or the naive per-cycle "
+                             "loop; results are bit-identical")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result-store directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-abella04)")
@@ -148,19 +174,54 @@ def main(argv: List[str] = None) -> None:
         scale.validate()
     except ValueError as exc:
         parser.error(f"--scale {args.scale}: {exc}")
-    runner = ExperimentRunner(scale, store=store, workers=args.workers)
+    runner = ExperimentRunner(scale, store=store, workers=args.workers,
+                              kernel=args.kernel)
+    engine.GLOBAL_TELEMETRY.reset()
     started = time.perf_counter()
-    for number in numbers:
-        print(run_campaign(runner, [number], workers=args.workers)[number])
-        print()
+    if args.schemes and args.no_cache:
+        parser.error(
+            "--schemes is a warm-only sweep (it renders nothing); combining it "
+            "with --no-cache would simulate and then discard every result"
+        )
+    if args.schemes:
+        wanted = [name.strip() for name in args.schemes.split(",") if name.strip()]
+        matrix = fig_mod.required_runs(numbers)
+        known = sorted({scheme_name(scheme) for __, scheme in matrix})
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown schemes {unknown} for these figures; known: {known}"
+            )
+        pairs = [
+            (benchmark, scheme)
+            for benchmark, scheme in matrix
+            if scheme_name(scheme) in wanted
+        ]
+        runner.prefetch(pairs, workers=args.workers)
+        print(
+            f"warmed {len(pairs)} (benchmark, scheme) pairs for schemes "
+            f"{','.join(wanted)} of figures {','.join(map(str, numbers))}"
+        )
+    else:
+        for number in numbers:
+            print(run_campaign(runner, [number], workers=args.workers)[number])
+            print()
     elapsed = time.perf_counter() - started
     stats = runner.cache_stats()
+    kernel_tel = engine.GLOBAL_TELEMETRY
     print(
         f"campaign: {len(numbers)} figures in {elapsed:.1f}s — "
         f"{stats['simulations']} simulated, {stats['disk_hits']} disk hits, "
         f"{stats['memory_hits']} memory hits"
         + ("" if args.no_cache else f" (store: {runner.store.root})")
     )
+    if kernel_tel.total_cycles:
+        skipped_pct = 100.0 * kernel_tel.skipped_cycles / kernel_tel.total_cycles
+        print(
+            f"kernel [{args.kernel}]: {kernel_tel.executed_cycles} cycles "
+            f"executed, {kernel_tel.skipped_cycles} skipped "
+            f"({skipped_pct:.1f}%) in {kernel_tel.skip_spans} spans"
+        )
 
 
 if __name__ == "__main__":

@@ -8,23 +8,30 @@ uneven cost — *mcf* at 2 MB working set vs *sixtrack* cache-resident)
 and returns results **in input order**, so parallel and serial campaigns
 produce identical result sequences.
 
-Workers keep a per-process trace cache: a benchmark's trace is generated
-at most once per worker regardless of how many schemes it is simulated
-under. Traces are derived deterministically from (profile, length, seed),
-so worker-local regeneration cannot diverge from the parent's.
+Traces are shared, not regenerated: when a spill directory is available
+(see :mod:`repro.workloads.spill`) the parent materializes each unique
+trace to disk once and workers deserialize it; without one, workers fall
+back to a per-process trace cache keyed on (benchmark, length, seed).
+Traces are deterministic in those inputs, so every path yields the same
+stream.
 
 Results cross the process boundary as ``SimulationStats.to_dict()``
 payloads — the same representation the disk store persists — so the
 parallel path exercises exactly the serialization the cache relies on.
+Each payload also carries the worker's kernel telemetry (cycles executed
+vs. skipped), which the parent folds into
+:data:`repro.core.engine.GLOBAL_TELEMETRY` so campaign-level reporting
+sees the whole fleet.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import IssueSchemeConfig
 from repro.common.stats import SimulationStats
+from repro.core import engine
 
 __all__ = ["simulate_matrix", "worker_count"]
 
@@ -40,36 +47,76 @@ def worker_count(requested: int = 0) -> int:
     return max(1, (multiprocessing.cpu_count() or 2) - 1)
 
 
-def _simulate_to_dict(job: Tuple[str, IssueSchemeConfig, "RunScale"]) -> dict:
-    """Worker entry point: simulate one pair, return the stats as a dict."""
+def _load_worker_trace(benchmark: str, scale, trace_dir: Optional[str]):
+    """Resolve a benchmark's trace: process cache → spill file → None."""
+    trace_key = (benchmark, scale.num_instructions, scale.seed)
+    trace = _WORKER_TRACES.get(trace_key)
+    if trace is None and trace_dir is not None:
+        from repro.workloads.spill import load_trace
+        from repro.workloads.suites import get_profile
+
+        trace = load_trace(
+            trace_dir, get_profile(benchmark), scale.num_instructions, scale.seed
+        )
+    return trace
+
+
+def _simulate_to_payload(
+    job: Tuple[str, IssueSchemeConfig, "RunScale", Optional[str], Optional[str]]
+) -> dict:
+    """Worker entry point: simulate one pair, return stats + telemetry."""
     # Imported here (not at module top) so the parent's import of this
     # module stays cheap and spawn-based workers re-import lazily.
     from repro.experiments.runner import simulate_pair
 
-    benchmark, scheme, scale = job
-    trace_key = (benchmark, scale.num_instructions, scale.seed)
-    trace = _WORKER_TRACES.get(trace_key)
-    stats, trace = simulate_pair(benchmark, scheme, scale, trace=trace)
-    _WORKER_TRACES[trace_key] = trace
-    return stats.to_dict()
+    benchmark, scheme, scale, kernel, trace_dir = job
+    trace = _load_worker_trace(benchmark, scale, trace_dir)
+    before = engine.GLOBAL_TELEMETRY.as_dict()
+    stats, trace = simulate_pair(benchmark, scheme, scale, trace=trace, kernel=kernel)
+    after = engine.GLOBAL_TELEMETRY.as_dict()
+    _WORKER_TRACES[(benchmark, scale.num_instructions, scale.seed)] = trace
+    return {
+        "stats": stats.to_dict(),
+        "telemetry": {name: after[name] - before[name] for name in after},
+    }
 
 
 def simulate_matrix(
     pairs: Sequence[Tuple[str, IssueSchemeConfig]],
     scale: "RunScale",
     workers: int,
+    kernel: Optional[str] = None,
+    trace_dir: Optional[str] = None,
 ) -> List[SimulationStats]:
     """Simulate every (benchmark, scheme) pair; results in input order.
 
     With ``workers <= 1`` (or a single pair) everything runs in-process
     through the same worker function, so both paths are byte-identical by
-    construction.
+    construction. With ``trace_dir`` set, each unique trace is
+    materialized there once up front and shared by every worker.
     """
-    jobs = [(benchmark, scheme, scale) for benchmark, scheme in pairs]
+    if trace_dir is not None:
+        from repro.workloads.spill import materialize_trace
+        from repro.workloads.suites import get_profile
+
+        for benchmark in dict.fromkeys(benchmark for benchmark, __ in pairs):
+            materialize_trace(
+                trace_dir, get_profile(benchmark), scale.num_instructions, scale.seed
+            )
+    jobs = [
+        (benchmark, scheme, scale, kernel, trace_dir) for benchmark, scheme in pairs
+    ]
     workers = min(worker_count(workers), len(jobs)) if jobs else 0
     if workers <= 1:
-        payloads = [_simulate_to_dict(job) for job in jobs]
+        payloads = [_simulate_to_payload(job) for job in jobs]
+        # In-process execution already updated GLOBAL_TELEMETRY directly.
+        for payload in payloads:
+            payload.pop("telemetry", None)
     else:
         with multiprocessing.Pool(processes=workers) as pool:
-            payloads = pool.map(_simulate_to_dict, jobs, chunksize=1)
-    return [SimulationStats.from_dict(payload) for payload in payloads]
+            payloads = pool.map(_simulate_to_payload, jobs, chunksize=1)
+        for payload in payloads:
+            worker_tel = payload.pop("telemetry", None)
+            if worker_tel:
+                engine.GLOBAL_TELEMETRY.merge(engine.KernelTelemetry(**worker_tel))
+    return [SimulationStats.from_dict(payload["stats"]) for payload in payloads]

@@ -83,6 +83,7 @@ def simulate_pair(
     scheme: IssueSchemeConfig,
     scale: RunScale,
     trace: Optional[Trace] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[SimulationStats, Trace]:
     """Simulate one (benchmark, scheme) pair from scratch.
 
@@ -90,13 +91,17 @@ def simulate_pair(
     multiprocessing workers both call it, so every execution path runs
     identical code. Pass a previously generated ``trace`` to skip trace
     generation (traces are deterministic in (profile, length, seed), so a
-    reused trace is indistinguishable from a fresh one). Returns the
-    stats together with the trace for reuse.
+    reused trace is indistinguishable from a fresh one). ``kernel``
+    overrides the config's simulation kernel (``"naive"``/``"skip"``) —
+    a wall-clock knob only, results are bit-identical either way.
+    Returns the stats together with the trace for reuse.
     """
     profile = get_profile(benchmark)
     if trace is None:
         trace = generate_trace(profile, scale.num_instructions, seed=scale.seed)
     config = default_config(scheme)
+    if kernel is not None:
+        config = config.with_kernel(kernel)
     processor = Processor(config, trace)
     prewarm(processor.hierarchy, profile, scale.seed)
     stats = processor.run(warmup_instructions=scale.warmup_instructions)
@@ -110,7 +115,10 @@ class ExperimentRunner:
     store, ``None`` (the default) uses ``$REPRO_CACHE_DIR`` if set and no
     disk cache otherwise, and ``False`` disables the disk layer outright.
     ``workers`` is the default pool size for :meth:`run_many` (0 = serial;
-    individual calls may override it).
+    individual calls may override it). ``kernel`` pins the simulation
+    kernel for every run this runner executes (``None`` = the config
+    default); it never affects cache keys because both kernels are
+    bit-identical.
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class ExperimentRunner:
         scale: RunScale = DEFAULT_SCALE,
         store: Union[ResultStore, None, bool] = None,
         workers: int = 0,
+        kernel: Optional[str] = None,
     ) -> None:
         scale.validate()
         self.scale = scale
@@ -130,9 +139,16 @@ class ExperimentRunner:
         else:
             self.store = store
         self.workers = workers
+        self.kernel = kernel
         self.telemetry = CacheTelemetry()
         self._trace_cache: Dict[str, Trace] = {}
         self._result_cache: Dict[Tuple[str, IssueSchemeConfig], SimulationStats] = {}
+
+    def _trace_dir(self) -> Optional[str]:
+        """Spill directory for worker-shared traces (disk cache root)."""
+        if self.store is None:
+            return None
+        return str(self.store.root / "traces")
 
     def trace_for(self, benchmark: str) -> Trace:
         """Trace for a benchmark at this runner's scale (cached)."""
@@ -183,7 +199,11 @@ class ExperimentRunner:
         stats = self._lookup(benchmark, scheme)
         if stats is None:
             stats, trace = simulate_pair(
-                benchmark, scheme, self.scale, trace=self._trace_cache.get(benchmark)
+                benchmark,
+                scheme,
+                self.scale,
+                trace=self._trace_cache.get(benchmark),
+                kernel=self.kernel,
             )
             self._trace_cache[benchmark] = trace
             self._record(benchmark, scheme, stats)
@@ -213,7 +233,13 @@ class ExperimentRunner:
             if workers and workers > 1:
                 from repro.experiments.parallel import simulate_matrix
 
-                results = simulate_matrix(misses, self.scale, workers)
+                results = simulate_matrix(
+                    misses,
+                    self.scale,
+                    workers,
+                    kernel=self.kernel,
+                    trace_dir=self._trace_dir(),
+                )
             else:
                 results = []
                 for benchmark, scheme in misses:
@@ -222,6 +248,7 @@ class ExperimentRunner:
                         scheme,
                         self.scale,
                         trace=self._trace_cache.get(benchmark),
+                        kernel=self.kernel,
                     )
                     self._trace_cache[benchmark] = trace
                     results.append(stats)

@@ -39,12 +39,56 @@ from repro.common.config import ProcessorConfig, stable_fingerprint
 from repro.common.stats import SimulationStats
 from repro.workloads.profiles import WorkloadProfile
 
-__all__ = ["ResultStore", "SIMULATOR_VERSION_TAG", "result_key", "default_cache_dir"]
+__all__ = [
+    "ResultStore",
+    "SIMULATOR_VERSION_TAG",
+    "result_key",
+    "default_cache_dir",
+    "simulator_sources_digest",
+]
 
-#: Stamped into every cache file and hashed into every key. Bump this
-#: whenever a change alters simulated behaviour (timing, energy events,
-#: trace generation) and every stale result silently misses.
-SIMULATOR_VERSION_TAG = "abella04-sim-1"
+#: Packages whose sources determine simulated behaviour. Anything that
+#: can change a statistic — pipeline timing, the ISA's op classes and
+#: latencies, issue schemes, the memory hierarchy, trace generation,
+#: even the counter plumbing — lives here. (The energy and experiments
+#: layers post-process cached stats and are deliberately excluded.)
+_SIMULATOR_PACKAGES = (
+    "common",
+    "core",
+    "frontend",
+    "isa",
+    "issue",
+    "memory",
+    "workloads",
+)
+
+
+def simulator_sources_digest() -> str:
+    """SHA-256 over every simulator source file, in a stable order.
+
+    Hashes the relative path and the bytes of each ``*.py`` file under
+    ``src/repro/{common,core,frontend,isa,issue,memory,workloads}``, so
+    *any* edit to simulated behaviour produces a new digest (renames and
+    moves included, since the path is part of the material).
+    """
+    package_root = Path(__file__).resolve().parent.parent  # src/repro
+    digest = hashlib.sha256()
+    for package in _SIMULATOR_PACKAGES:
+        for path in sorted((package_root / package).rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+#: Stamped into every cache file and hashed into every key. Derived from
+#: a hash of the simulator sources, so the disk cache can never serve a
+#: result computed by different simulated behaviour — no manual bump to
+#: forget. (Experiments-layer refactors that cannot change statistics do
+#: not invalidate the cache; that is the point of hashing only the
+#: simulator packages.)
+SIMULATOR_VERSION_TAG = f"abella04-sim-src-{simulator_sources_digest()[:16]}"
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 

@@ -60,6 +60,35 @@ class FetchEngine:
         """Sequence number of the mispredicted branch fetch waits on."""
         return self._blocking_branch_seq
 
+    def state_token(self) -> tuple:
+        """Opaque token over every internal field a fetch cycle can move.
+
+        The skipping kernel compares tokens around :meth:`fetch_cycle`:
+        a cycle that fetched nothing but still moved state (e.g. started
+        an I-cache miss and armed the fill timer) counts as activity.
+        """
+        return (
+            self._position,
+            self._icache_ready_cycle,
+            self._blocking_branch_seq,
+            self._current_line,
+        )
+
+    def next_activity_cycle(self, cycle: int) -> Optional[int]:
+        """Skipping-kernel contract: the I-cache fill/redirect timer.
+
+        While fetch waits out an I-cache miss or a post-misprediction
+        redirect, the ready timer is the exact cycle fetch resumes. A
+        fetch blocked on an unresolved branch needs no timer — the
+        branch's resolution is already on the pipeline's event wheel
+        (and arms this timer when it fires).
+        """
+        if self._blocking_branch_seq is not None or self.exhausted:
+            return None
+        if self._icache_ready_cycle >= cycle:
+            return self._icache_ready_cycle
+        return None
+
     def resolve_branch(self, seq: int, cycle: int) -> None:
         """Back-end notification that branch ``seq`` resolved at ``cycle``.
 

@@ -117,9 +117,34 @@ class FifoSide:
                 issued.append(head)
         return issued
 
+    # -- skipping-kernel support ----------------------------------------
+    def idle_counters(self) -> dict:
+        """Diagnostic counters a quiescent (stalled-dispatch) cycle moves."""
+        return {
+            "dispatch_stalls": self.dispatch_stalls,
+            "stalls_rule1_full": self.stalls_rule1_full,
+            "stalls_rule2_full": self.stalls_rule2_full,
+            "stalls_no_empty": self.stalls_no_empty,
+        }
+
+    def apply_idle_counters(self, before: dict, n_cycles: int) -> None:
+        """Replay the per-cycle counter delta for a skipped idle span."""
+        self.dispatch_stalls += n_cycles * (
+            self.dispatch_stalls - before["dispatch_stalls"]
+        )
+        self.stalls_rule1_full += n_cycles * (
+            self.stalls_rule1_full - before["stalls_rule1_full"]
+        )
+        self.stalls_rule2_full += n_cycles * (
+            self.stalls_rule2_full - before["stalls_rule2_full"]
+        )
+        self.stalls_no_empty += n_cycles * (
+            self.stalls_no_empty - before["stalls_no_empty"]
+        )
+
     # -- misc -----------------------------------------------------------
     def occupancy(self) -> int:
-        return sum(len(queue) for queue in self.queues)
+        return sum(map(len, self.queues))  # map beats a genexpr here: hot path
 
     def clear_mapping(self) -> None:
         """Branch misprediction recovery: clear the register→queue table."""

@@ -12,14 +12,20 @@ from typing import List
 from repro.common.config import ProcessorConfig
 from repro.common.stats import StatCounters
 from repro.core.uop import InFlight
-from repro.issue.base import IssueContext, IssueScheme
+from repro.issue.base import IssueContext, IssueScheme, SideIdleCountersMixin
 from repro.issue.fifo_side import FifoSide
 
 __all__ = ["IssueFifoScheme"]
 
 
-class IssueFifoScheme(IssueScheme):
-    """Dependence-based FIFOs for both the integer and FP sides."""
+class IssueFifoScheme(SideIdleCountersMixin, IssueScheme):
+    """Dependence-based FIFOs for both the integer and FP sides.
+
+    Skipping-kernel notes: placement and head-issue decisions depend
+    only on queue contents, the mapping table and operand readiness —
+    all event-driven — so the scheme needs no wake timers of its own
+    (the base-class ``next_activity_cycle`` contract of ``None``).
+    """
 
     name = "issuefifo"
 

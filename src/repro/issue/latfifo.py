@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.common.config import ProcessorConfig
 from repro.common.stats import StatCounters
 from repro.core.uop import InFlight
-from repro.issue.base import IssueContext, IssueScheme
+from repro.issue.base import IssueContext, IssueScheme, SideIdleCountersMixin
 from repro.issue.fifo_side import FifoSide
 from repro.issue.latency_estimator import IssueTimeEstimator
 
@@ -53,7 +53,7 @@ class LatencyPlacedFifoSide(FifoSide):
         return True
 
 
-class LatFifoScheme(IssueScheme):
+class LatFifoScheme(SideIdleCountersMixin, IssueScheme):
     """IssueFIFO integer side + latency-placed FP side."""
 
     name = "latfifo"
@@ -93,6 +93,41 @@ class LatFifoScheme(IssueScheme):
     def on_mispredict_resolved(self) -> None:
         self.int_side.clear_mapping()
         self.fp_side.clear_mapping()
+
+    def next_dispatch_activity_cycle(self, inst, cycle: int) -> Optional[int]:
+        """Skipping-kernel contract: when a stalled FP placement unsticks.
+
+        FP placement compares the stalled instruction's *estimated* issue
+        cycle — ``max(cycle + 1, operand estimates)`` — against each
+        non-full queue's tail estimate, so a stall can dissolve purely by
+        the cycle number advancing. With frozen estimator state the
+        estimate's cycle term first beats a tail estimate ``T`` at cycle
+        ``T`` exactly, hence the earliest tail estimate over non-full
+        queues is the wake cycle.
+
+        Two cases cannot be predicted and fall back conservatively:
+
+        * a self-referential instruction (its destination is also a
+          source): the naive kernel re-runs the estimator every retry,
+          compounding the operand estimate, so we decline to skip
+          (``cycle + 1``);
+        * every queue full: placement then frees only via an issue,
+          which the event wheel already tracks (``None``).
+        """
+        if not inst.op.is_fp:
+            return None  # integer side is plain FIFO placement
+        if inst.dest is not None and inst.dest in inst.srcs:
+            return cycle  # re-estimated every retry: never skip
+        side = self.fp_side
+        tails = [
+            side._tail_est[index] if queue else _EMPTY_TAIL
+            for index, queue in enumerate(side.queues)
+            if len(queue) < side.entries_per_queue
+        ]
+        if not tails:
+            return None
+        earliest = min(tails)
+        return earliest if earliest >= cycle else cycle
 
     def occupancy(self) -> int:
         return self.int_side.occupancy() + self.fp_side.occupancy()

@@ -22,7 +22,7 @@ from repro.common.config import ProcessorConfig
 from repro.common.stats import StatCounters
 from repro.core.uop import InFlight
 from repro.isa.opcodes import latency_for
-from repro.issue.base import IssueContext, IssueScheme
+from repro.issue.base import IssueContext, IssueScheme, SideIdleCountersMixin
 from repro.issue.fifo_side import FifoSide
 from repro.issue.mapping import ChainRenameTable
 from repro.issue.selection import SelectableEntry, select_entry
@@ -211,9 +211,51 @@ class MixBuffSide:
             return self._load_value_latency
         return latency_for(uop.op, self.config.fus)
 
+    # -- skipping-kernel support ------------------------------------------
+    def idle_counters(self) -> dict:
+        return {"dispatch_stalls": self.dispatch_stalls}
+
+    def apply_idle_counters(self, before: dict, n_cycles: int) -> None:
+        self.dispatch_stalls += n_cycles * (
+            self.dispatch_stalls - before["dispatch_stalls"]
+        )
+
+    def next_code_boundary(self, cycle: int, scoreboard) -> Optional[int]:
+        """Next cycle a chain's 2-bit latency code can change by itself.
+
+        The selector compresses ``completion - cycle`` into the codes
+        ``not-ready`` / ``finishes-next-cycle`` / ``finished``, so with
+        frozen state a queue's selection outcome can still change at the
+        cycles ``completion - 1`` and ``completion`` of any live chain.
+        Chains whose starter has an unscheduled operand read as
+        not-ready at *every* cycle (the far-future sentinel) and
+        contribute no boundary; their transition is a broadcast or issue
+        event the wheel already tracks.
+        """
+        earliest: Optional[int] = None
+        for queue_index, queue in enumerate(self.queues):
+            if not queue:
+                continue
+            for chain in self.chains[queue_index].values():
+                completion = chain.completion_cycle
+                starter = chain.starter
+                if starter is not None:
+                    if not all(
+                        scoreboard.is_scheduled(phys) for phys in starter.issue_srcs
+                    ):
+                        continue  # reads as not-ready regardless of cycle
+                    for phys in starter.issue_srcs:
+                        ready = scoreboard.ready_cycle(phys)
+                        if ready > completion:
+                            completion = ready
+                for boundary in (completion - 1, completion):
+                    if boundary >= cycle and (earliest is None or boundary < earliest):
+                        earliest = boundary
+        return earliest
+
     # -- misc -------------------------------------------------------------
     def occupancy(self) -> int:
-        return sum(len(queue) for queue in self.queues)
+        return sum(map(len, self.queues))  # hot path: called every cycle
 
     def live_chains(self) -> int:
         return sum(len(chains) for chains in self.chains)
@@ -222,7 +264,7 @@ class MixBuffSide:
         self.table.clear()
 
 
-class MixBuffScheme(IssueScheme):
+class MixBuffScheme(SideIdleCountersMixin, IssueScheme):
     """IssueFIFO integer side + MixBUFF FP buffers."""
 
     name = "mixbuff"
@@ -241,6 +283,11 @@ class MixBuffScheme(IssueScheme):
             events,
         )
         self._distributed = scheme.distributed_fus
+        self._scoreboard = None
+
+    def bind_scoreboard(self, scoreboard) -> None:
+        """Scoreboard access for chain-code boundary prediction."""
+        self._scoreboard = scoreboard
 
     def try_dispatch(self, uop: InFlight, cycle: int) -> bool:
         if uop.op.is_fp:
@@ -258,6 +305,12 @@ class MixBuffScheme(IssueScheme):
     def on_mispredict_resolved(self) -> None:
         self.int_side.clear_mapping()
         self.fp_side.clear_mapping()
+
+    def next_activity_cycle(self, cycle: int) -> Optional[int]:
+        """Chain-latency code boundaries (see ``next_code_boundary``)."""
+        if self._scoreboard is None:
+            return cycle  # unbound (tests): never skip, always exact
+        return self.fp_side.next_code_boundary(cycle, self._scoreboard)
 
     def occupancy(self) -> int:
         return self.int_side.occupancy() + self.fp_side.occupancy()

@@ -42,13 +42,15 @@ class Cache:
         self._sets: List[List[int]] = [[] for __ in range(config.num_sets)]
         self._set_mask = config.num_sets - 1
         self._line_shift = config.line_bytes.bit_length() - 1
+        # Geometry constants hoisted out of the per-access path (the
+        # num_sets property divides, and bit_length is not free at the
+        # millions-of-lookups scale of a campaign).
+        self._set_bits = config.num_sets.bit_length() - 1
+        self._hit_latency = config.hit_latency
+        self._associativity = config.associativity
         self.accesses = 0
         self.hits = 0
         self.misses = 0
-
-    def _index_tag(self, addr: int) -> tuple:
-        line = addr >> self._line_shift
-        return line & self._set_mask, line >> self.config.num_sets.bit_length() - 1
 
     def lookup(self, addr: int, miss_latency: int) -> AccessResult:
         """Access ``addr``; on a miss the line is filled.
@@ -58,24 +60,47 @@ class Cache:
         latency includes this cache's hit latency in both cases, matching
         the usual "lookup, then go down on miss" timing.
         """
-        index, tag = self._index_tag(addr)
-        ways = self._sets[index]
+        hit, latency = self.access_latency(addr, lambda: miss_latency)
+        return AccessResult(hit, latency)
+
+    def access_latency(self, addr: int, miss_latency_fn) -> tuple:
+        """Access ``addr``; returns ``(hit, latency)``.
+
+        ``miss_latency_fn`` is only called on a miss, so the backing
+        level is touched lazily — the hot path of the hierarchy (one
+        index computation, one LRU update, no result object).
+        """
+        line = addr >> self._line_shift
+        tag = line >> self._set_bits
+        ways = self._sets[line & self._set_mask]
         self.accesses += 1
         if tag in ways:
             ways.remove(tag)
             ways.append(tag)
             self.hits += 1
-            return AccessResult(True, self.config.hit_latency)
+            return True, self._hit_latency
         self.misses += 1
         ways.append(tag)
-        if len(ways) > self.config.associativity:
+        if len(ways) > self._associativity:
             ways.pop(0)
-        return AccessResult(False, self.config.hit_latency + miss_latency)
+        return False, self._hit_latency + miss_latency_fn()
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (no LRU update, no counters)."""
-        index, tag = self._index_tag(addr)
-        return tag in self._sets[index]
+        line = addr >> self._line_shift
+        return (line >> self._set_bits) in self._sets[line & self._set_mask]
+
+    def state_snapshot(self) -> List[List[int]]:
+        """Copy of the tag/LRU state (contents only, not counters)."""
+        return [list(ways) for ways in self._sets]
+
+    def restore_state(self, snapshot: List[List[int]]) -> None:
+        """Restore tag/LRU state from :meth:`state_snapshot`; counters
+        are zeroed, matching a freshly warmed, statistics-reset cache."""
+        self._sets = [list(ways) for ways in snapshot]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
 
     @property
     def miss_rate(self) -> float:

@@ -28,19 +28,18 @@ class MemoryHierarchy:
 
     def _l2_fill_latency(self, addr: int) -> int:
         """Latency the L2 charges for a fill request from an L1 miss."""
-        result = self.l2.lookup(addr, self._memory_latency)
-        return result.latency
+        __, latency = self.l2.access_latency(addr, lambda: self._memory_latency)
+        return latency
 
     def instruction_fetch_latency(self, pc: int) -> int:
-        """Cycles to fetch the line containing ``pc``."""
-        miss_latency = 0 if self.icache.probe(pc) else None
-        if miss_latency is None:
-            # Compute the L2 (and possibly memory) latency lazily so the
-            # L2 is only touched on a real L1 miss.
-            result = self.icache.lookup(pc, self._l2_fill_latency(pc))
-        else:
-            result = self.icache.lookup(pc, 0)
-        return result.latency
+        """Cycles to fetch the line containing ``pc``.
+
+        The L2 is only touched on a real L1 miss (lazy fill latency).
+        """
+        __, latency = self.icache.access_latency(
+            pc, lambda: self._l2_fill_latency(pc)
+        )
+        return latency
 
     def data_access_latency(self, addr: int, is_store: bool = False) -> int:
         """Cycles for a load/store to reach its data.
@@ -49,11 +48,25 @@ class MemoryHierarchy:
         loads for timing purposes, though the pipeline retires them at
         commit so their latency rarely matters.
         """
-        if self.dcache.probe(addr):
-            result = self.dcache.lookup(addr, 0)
-        else:
-            result = self.dcache.lookup(addr, self._l2_fill_latency(addr))
-        return result.latency
+        __, latency = self.dcache.access_latency(
+            addr, lambda: self._l2_fill_latency(addr)
+        )
+        return latency
+
+    def state_snapshot(self) -> tuple:
+        """Tag/LRU state of all three caches (for pre-warm reuse)."""
+        return (
+            self.icache.state_snapshot(),
+            self.dcache.state_snapshot(),
+            self.l2.state_snapshot(),
+        )
+
+    def restore_state(self, snapshot: tuple) -> None:
+        """Restore all three caches from :meth:`state_snapshot`."""
+        icache, dcache, l2 = snapshot
+        self.icache.restore_state(icache)
+        self.dcache.restore_state(dcache)
+        self.l2.restore_state(l2)
 
     def dcache_hit_latency(self) -> int:
         """The L1D hit latency (the load latency assumed at dispatch)."""

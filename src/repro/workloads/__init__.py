@@ -20,7 +20,8 @@ from repro.workloads.suites import (
     specfp2000,
     specint2000,
 )
-from repro.workloads.prewarm import prewarm
+from repro.workloads.prewarm import clear_prewarm_cache, prewarm
+from repro.workloads.spill import load_trace, materialize_trace, trace_spill_path
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -35,9 +36,13 @@ __all__ = [
     "WorkloadProfile",
     "all_profiles",
     "build_static_program",
+    "clear_prewarm_cache",
     "generate_trace",
     "get_profile",
+    "load_trace",
+    "materialize_trace",
     "prewarm",
     "specfp2000",
     "specint2000",
+    "trace_spill_path",
 ]

@@ -19,14 +19,28 @@ ratio.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
+from repro.common.config import stable_fingerprint
 from repro.common.rng import make_rng
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads.generator import StaticProgram, build_static_program
 from repro.workloads.profiles import WorkloadProfile
 
-__all__ = ["prewarm"]
+__all__ = ["prewarm", "clear_prewarm_cache"]
 
 _SAMPLES_PER_LINE = 4  # random-region oversampling factor
+
+#: Warmed-cache state memo, keyed on everything that determines it. A
+#: campaign replays the same benchmark under many schemes, and the cache
+#: geometry is scheme-independent, so the (deterministic) warming walk
+#: runs once per benchmark per process; later calls restore the snapshot.
+_WARM_STATE: Dict[Tuple, tuple] = {}
+
+
+def clear_prewarm_cache() -> None:
+    """Drop memoized warm states (tests that count accesses use this)."""
+    _WARM_STATE.clear()
 
 
 def prewarm(
@@ -42,7 +56,26 @@ def prewarm(
     the static program (and hence the set of stream regions) matches.
     Cache statistics are reset afterwards, so the warming accesses never
     appear in any reported counter.
+
+    The resulting cache state is deterministic in (profile, seed,
+    register counts, cache geometry), so it is memoized per process:
+    repeat calls restore a snapshot instead of replaying the access walk
+    — bit-identical, since the snapshot captures the complete tag/LRU
+    state and the statistics are reset either way.
     """
+    memo_key = (
+        stable_fingerprint(profile),
+        seed,
+        num_int_regs,
+        num_fp_regs,
+        hierarchy.config.icache.cache_key(),
+        hierarchy.config.dcache.cache_key(),
+        hierarchy.config.l2cache.cache_key(),
+    )
+    warmed = _WARM_STATE.get(memo_key)
+    if warmed is not None:
+        hierarchy.restore_state(warmed)
+        return
     program: StaticProgram = build_static_program(
         profile, seed, num_int_regs, num_fp_regs
     )
@@ -99,3 +132,4 @@ def prewarm(
     hierarchy.icache.reset_statistics()
     hierarchy.dcache.reset_statistics()
     hierarchy.l2.reset_statistics()
+    _WARM_STATE[memo_key] = hierarchy.state_snapshot()

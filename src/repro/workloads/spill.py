@@ -1,0 +1,108 @@
+"""Trace spill files: generate once, share across worker processes.
+
+A campaign simulates every benchmark under many schemes; the trace is
+identical for all of them, yet multiprocessing workers used to regenerate
+it from the profile in every worker process. This module materializes a
+trace once to a content-addressed spill file (by default under
+``$REPRO_CACHE_DIR/traces/``) so workers — and later campaigns at the
+same scale — deserialize it instead of re-running the generator.
+
+The spill key hashes the workload profile, the trace length, the RNG
+seed and the simulator version tag (which itself hashes the simulator
+sources, including the trace generator), so a stale spill can never leak
+across behaviour changes. Files are written atomically and any
+unreadable or mismatching file is treated as a miss: the trace is simply
+regenerated, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.common.config import stable_fingerprint
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.trace import Trace
+
+__all__ = ["trace_spill_key", "trace_spill_path", "materialize_trace", "load_trace"]
+
+
+def trace_spill_key(profile: WorkloadProfile, num_instructions: int, seed: int) -> str:
+    """Content address of one generated trace."""
+    from repro.experiments.store import SIMULATOR_VERSION_TAG
+
+    material = json.dumps(
+        {
+            "version": SIMULATOR_VERSION_TAG,
+            "profile": stable_fingerprint(profile),
+            "num_instructions": num_instructions,
+            "seed": seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def trace_spill_path(
+    trace_dir: os.PathLike, profile: WorkloadProfile, num_instructions: int, seed: int
+) -> Path:
+    return Path(trace_dir) / f"{trace_spill_key(profile, num_instructions, seed)}.trace"
+
+
+def load_trace(
+    trace_dir: os.PathLike, profile: WorkloadProfile, num_instructions: int, seed: int
+) -> Optional[Trace]:
+    """The spilled trace, or ``None`` on any kind of miss.
+
+    A missing, truncated or unpicklable file — or one whose metadata does
+    not match the request — reads as a miss; callers regenerate.
+    """
+    path = trace_spill_path(trace_dir, profile, num_instructions, seed)
+    try:
+        with open(path, "rb") as fh:
+            trace = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        return None
+    if (
+        not isinstance(trace, Trace)
+        or trace.profile_name != profile.name
+        or trace.seed != seed
+        or len(trace) != num_instructions
+    ):
+        return None
+    return trace
+
+
+def materialize_trace(
+    trace_dir: os.PathLike, profile: WorkloadProfile, num_instructions: int, seed: int
+) -> Trace:
+    """Load the spilled trace, generating and spilling it if absent.
+
+    Safe under concurrent callers: the file is written atomically via a
+    temp file + ``os.replace``, so racers at worst regenerate redundantly
+    and the file is always complete.
+    """
+    trace = load_trace(trace_dir, profile, num_instructions, seed)
+    if trace is not None:
+        return trace
+    trace = generate_trace(profile, num_instructions, seed=seed)
+    path = trace_spill_path(trace_dir, profile, num_instructions, seed)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(trace, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return trace

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import figures as fig_mod
-from repro.experiments.campaign import ALL_FIGURES, run_campaign
+from repro.experiments.campaign import ALL_FIGURES, main, run_campaign
 from repro.experiments.runner import ExperimentRunner, RunScale
 
 
@@ -34,6 +34,31 @@ class TestCampaign:
     def test_breakdown_figure_renders(self, small):
         text = run_campaign(small, [9])[9]
         assert "wakeup" in text
+
+
+class TestCliFilters:
+    def test_schemes_filter_runs_warm_only_sweep(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        main(["--scale", "1000", "--figures", "2",
+              "--schemes", "IQ_unbounded,IssueFIFO_8x8_16x16",
+              "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "warmed 2 (benchmark, scheme) pairs" in out
+        assert "Figure 2" not in out  # warm-only: no rendering
+
+    def test_unknown_scheme_name_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        with pytest.raises(SystemExit):
+            main(["--scale", "1000", "--figures", "2",
+                  "--schemes", "NoSuchScheme", "--cache-dir", str(tmp_path)])
+
+    def test_kernel_flag_accepts_naive(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        main(["--scale", "1000", "--figures", "7", "--kernel", "naive",
+              "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "kernel [naive]" in out
+        assert "0 skipped" in out
 
 
 class TestRequiredRuns:

@@ -2,11 +2,15 @@
 
 One small run of each issue scheme is pinned to exact cycle, stall and
 energy-event counts (plus a SHA-256 over the *entire* stats payload).
-Three execution paths must reproduce them bit-identically:
+Five execution paths must reproduce them bit-identically:
 
 * the serial in-process path (``ExperimentRunner.run``),
 * the multiprocessing path (``simulate_matrix`` with 2 workers),
-* a disk-cache hit (save to a fresh ``ResultStore``, reload, compare).
+* a disk-cache hit (save to a fresh ``ResultStore``, reload, compare),
+* the naive per-cycle kernel and the event-driven cycle-skipping kernel
+  (``TestKernelPaths`` pins both explicitly; the goldens themselves were
+  pinned before the skipping kernel existed, so they are the external
+  anchor proving the skipper changed nothing).
 
 Any change that alters simulated behaviour — timing, energy accounting,
 trace generation, RNG — trips these tests. That is the point: future
@@ -25,7 +29,7 @@ from repro.common.config import IssueSchemeConfig
 from repro.common.stats import SimulationStats
 from repro.experiments import IF_DISTR, IQ_64_64, MB_DISTR
 from repro.experiments.parallel import simulate_matrix
-from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.experiments.runner import ExperimentRunner, RunScale, simulate_pair
 from repro.experiments.store import ResultStore
 
 BENCHMARK = "mesa"
@@ -117,6 +121,16 @@ class TestSerialPath:
     def test_schemes_actually_differ(self, serial_stats):
         # Sanity: the pinned runs are not degenerate copies of each other.
         assert len({stats_digest(s) for s in serial_stats.values()}) == len(SCHEMES)
+
+
+class TestKernelPaths:
+    """Both simulation kernels must land exactly on the pinned goldens."""
+
+    @pytest.mark.parametrize("kernel", ("naive", "skip"))
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_kernel_matches_golden(self, name, kernel):
+        stats, __ = simulate_pair(BENCHMARK, SCHEMES[name], SCALE, kernel=kernel)
+        check_golden(name, stats)
 
 
 class TestParallelPath:

@@ -1,0 +1,127 @@
+"""Differential net for the event-driven cycle-skipping kernel.
+
+The skipping kernel's contract is *bit-identical statistics* with the
+naive per-cycle loop on every input — skipped spans are accounted in
+closed form, never approximated. These tests drive both kernels over a
+randomized matrix of (benchmark, scale, seed) x all four issue schemes
+and require field-for-field equality of ``SimulationStats`` (events
+included), plus sanity checks on the kernel telemetry and the cache-key
+neutrality of the kernel knob.
+"""
+
+import random
+
+import pytest
+
+from repro.common.config import (
+    IssueSchemeConfig,
+    KERNEL_NAIVE,
+    KERNEL_SKIP,
+    default_config,
+)
+from repro.common.errors import ConfigurationError
+from repro.core.processor import Processor
+from repro.experiments import IF_DISTR, IQ_64_64, MB_DISTR
+from repro.experiments.runner import RunScale, simulate_pair
+from repro.workloads.generator import generate_trace
+from repro.workloads.prewarm import prewarm
+from repro.workloads.suites import get_profile
+
+LATFIFO_8x8_8x16 = IssueSchemeConfig(
+    kind="latfifo", int_queues=8, int_queue_entries=8,
+    fp_queues=8, fp_queue_entries=16,
+)
+
+ALL_SCHEMES = {
+    "conventional": IQ_64_64,
+    "issuefifo": IF_DISTR,
+    "latfifo": LATFIFO_8x8_8x16,
+    "mixbuff": MB_DISTR,
+}
+
+# A deterministic but randomized run matrix: mixed suites, scales with
+# and without warm-up, memory-bound (mcf/art) and compute-bound points.
+_RNG = random.Random(0xA6E11A)
+RUN_MATRIX = [
+    (benchmark, _RNG.choice((800, 1200, 2000)), _RNG.randrange(1, 1000))
+    for benchmark in ("mcf", "gzip", "art", "mesa", "swim")
+]
+
+
+def _run(benchmark: str, num_instructions: int, seed: int,
+         scheme: IssueSchemeConfig, kernel: str):
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, num_instructions, seed=seed)
+    processor = Processor(default_config(scheme).with_kernel(kernel), trace)
+    prewarm(processor.hierarchy, profile, seed)
+    stats = processor.run(warmup_instructions=num_instructions // 3)
+    return stats, processor
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("scheme_name", sorted(ALL_SCHEMES))
+    @pytest.mark.parametrize("bench,length,seed", RUN_MATRIX)
+    def test_bit_identical_stats(self, scheme_name, bench, length, seed):
+        scheme = ALL_SCHEMES[scheme_name]
+        naive, __ = _run(bench, length, seed, scheme, KERNEL_NAIVE)
+        skipping, __ = _run(bench, length, seed, scheme, KERNEL_SKIP)
+        assert naive.to_dict() == skipping.to_dict()
+
+    def test_no_warmup_also_identical(self):
+        profile = get_profile("mcf")
+        trace = generate_trace(profile, 900, seed=3)
+        results = {}
+        for kernel in (KERNEL_NAIVE, KERNEL_SKIP):
+            processor = Processor(default_config(IQ_64_64).with_kernel(kernel), trace)
+            prewarm(processor.hierarchy, profile, 3)
+            results[kernel] = processor.run().to_dict()
+        assert results[KERNEL_NAIVE] == results[KERNEL_SKIP]
+
+
+class TestKernelTelemetry:
+    def test_skip_kernel_actually_skips_on_memory_bound_run(self):
+        __, processor = _run("mcf", 2000, 11, IQ_64_64, KERNEL_SKIP)
+        telemetry = processor.kernel_telemetry
+        assert telemetry.skipped_cycles > 0
+        assert telemetry.skip_spans > 0
+        assert telemetry.total_cycles == (
+            telemetry.executed_cycles + telemetry.skipped_cycles
+        )
+
+    def test_naive_kernel_never_skips(self):
+        stats, processor = _run("mcf", 2000, 11, IQ_64_64, KERNEL_NAIVE)
+        telemetry = processor.kernel_telemetry
+        assert telemetry.skipped_cycles == 0
+        assert telemetry.skip_spans == 0
+
+    def test_total_cycles_match_between_kernels(self):
+        naive_stats, naive_proc = _run("art", 1200, 5, MB_DISTR, KERNEL_NAIVE)
+        skip_stats, skip_proc = _run("art", 1200, 5, MB_DISTR, KERNEL_SKIP)
+        assert (
+            naive_proc.kernel_telemetry.total_cycles
+            == skip_proc.kernel_telemetry.total_cycles
+        )
+        assert naive_stats.cycles == skip_stats.cycles
+
+
+class TestKernelKnob:
+    def test_kernel_field_excluded_from_cache_key(self):
+        base = default_config(IQ_64_64)
+        assert base.with_kernel(KERNEL_NAIVE).cache_key() == (
+            base.with_kernel(KERNEL_SKIP).cache_key()
+        )
+
+    def test_other_fields_still_change_the_key(self):
+        base = default_config(IQ_64_64)
+        assert base.cache_key() != default_config(IF_DISTR).cache_key()
+
+    def test_invalid_kernel_rejected(self):
+        config = default_config(IQ_64_64).with_kernel("warp")
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_simulate_pair_kernel_override_is_bit_identical(self):
+        scale = RunScale(num_instructions=1200, warmup_instructions=600, seed=9)
+        naive, __ = simulate_pair("gzip", IF_DISTR, scale, kernel=KERNEL_NAIVE)
+        skipping, __ = simulate_pair("gzip", IF_DISTR, scale, kernel=KERNEL_SKIP)
+        assert naive.to_dict() == skipping.to_dict()

@@ -1,0 +1,67 @@
+"""Tests for trace spill files and the source-derived version tag."""
+
+import pickle
+
+from repro.experiments.store import SIMULATOR_VERSION_TAG, simulator_sources_digest
+from repro.workloads.generator import generate_trace
+from repro.workloads.spill import (
+    load_trace,
+    materialize_trace,
+    trace_spill_key,
+    trace_spill_path,
+)
+from repro.workloads.suites import get_profile
+
+
+class TestTraceSpill:
+    def test_materialize_then_load_round_trips(self, tmp_path):
+        profile = get_profile("gzip")
+        trace = materialize_trace(tmp_path, profile, 800, 5)
+        assert trace_spill_path(tmp_path, profile, 800, 5).exists()
+        loaded = load_trace(tmp_path, profile, 800, 5)
+        assert loaded is not None
+        assert [str(i) for i in loaded] == [str(i) for i in trace]
+
+    def test_spilled_trace_equals_fresh_generation(self, tmp_path):
+        profile = get_profile("art")
+        materialize_trace(tmp_path, profile, 600, 9)
+        loaded = load_trace(tmp_path, profile, 600, 9)
+        fresh = generate_trace(profile, 600, seed=9)
+        assert [str(i) for i in loaded] == [str(i) for i in fresh]
+
+    def test_missing_file_is_a_miss(self, tmp_path):
+        assert load_trace(tmp_path, get_profile("gzip"), 800, 5) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        profile = get_profile("gzip")
+        path = trace_spill_path(tmp_path, profile, 800, 5)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        assert load_trace(tmp_path, profile, 800, 5) is None
+
+    def test_mismatched_metadata_is_a_miss(self, tmp_path):
+        profile = get_profile("gzip")
+        other = generate_trace(get_profile("art"), 800, seed=5)
+        path = trace_spill_path(tmp_path, profile, 800, 5)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(other))
+        assert load_trace(tmp_path, profile, 800, 5) is None
+
+    def test_key_depends_on_all_inputs(self):
+        gzip, art = get_profile("gzip"), get_profile("art")
+        keys = {
+            trace_spill_key(gzip, 800, 5),
+            trace_spill_key(art, 800, 5),
+            trace_spill_key(gzip, 900, 5),
+            trace_spill_key(gzip, 800, 6),
+        }
+        assert len(keys) == 4
+
+
+class TestSourceDerivedVersionTag:
+    def test_tag_embeds_source_digest(self):
+        assert SIMULATOR_VERSION_TAG.startswith("abella04-sim-src-")
+        assert simulator_sources_digest()[:16] in SIMULATOR_VERSION_TAG
+
+    def test_digest_is_deterministic(self):
+        assert simulator_sources_digest() == simulator_sources_digest()
