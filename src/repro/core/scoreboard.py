@@ -24,6 +24,9 @@ class Scoreboard:
     def __init__(self, num_phys_int: int, num_phys_fp: int, num_arch_int: int, num_arch_fp: int) -> None:
         self._int: List[int] = [_NEVER] * num_phys_int
         self._fp: List[int] = [_NEVER] * num_phys_fp
+        # Bumped on every readiness mutation; consumers may cache any
+        # quantity derived from ready cycles and revalidate by version.
+        self._version = 0
         # Initial architectural mappings (phys i holds arch i) are live-in
         # values, ready from the start.
         for i in range(num_arch_int):
@@ -34,15 +37,27 @@ class Scoreboard:
     def _bank(self, is_fp: bool) -> List[int]:
         return self._fp if is_fp else self._int
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter of readiness mutations.
+
+        While the version is unchanged, every ``ready_cycle`` answer is
+        frozen, so a cached bound like "no operand set in queue Q can be
+        fully ready before cycle c" stays exact.
+        """
+        return self._version
+
     def mark_pending(self, phys: Tuple[bool, int]) -> None:
         """Destination allocated: value not available until set_ready."""
         is_fp, index = phys
         self._bank(is_fp)[index] = _NEVER
+        self._version += 1
 
     def set_ready(self, phys: Tuple[bool, int], cycle: int) -> None:
         """Value of ``phys`` becomes available at ``cycle``."""
         is_fp, index = phys
         self._bank(is_fp)[index] = cycle
+        self._version += 1
 
     def ready_cycle(self, phys: Tuple[bool, int]) -> int:
         """Cycle at which ``phys`` is (or will be) available."""

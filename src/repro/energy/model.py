@@ -133,15 +133,26 @@ class EnergyModel:
 
     # -- evaluation -------------------------------------------------------
     def energy_pj(self, events: Dict[str, int]) -> float:
-        """Total issue-logic energy (pJ) for a bag of event counts."""
+        """Total issue-logic energy (pJ) for a bag of event counts.
+
+        Summed in sorted event-name order so the floating-point result is
+        identical whether the counts came from a fresh simulation or a
+        JSON cache round trip (dict insertion order differs between the
+        two; float addition is not associative).
+        """
         return sum(
-            count * self.weights.get(name, 0.0) for name, count in events.items()
+            count * self.weights.get(name, 0.0)
+            for name, count in sorted(events.items())
         )
 
     def energy_by_event(self, events: Dict[str, int]) -> Dict[str, float]:
-        """Energy (pJ) attributed to each *weighted* event name."""
+        """Energy (pJ) attributed to each *weighted* event name.
+
+        Sorted by event name for the same order-stability reason as
+        :meth:`energy_pj` — downstream breakdowns sum these floats.
+        """
         return {
             name: count * self.weights[name]
-            for name, count in events.items()
+            for name, count in sorted(events.items())
             if name in self.weights and count
         }

@@ -6,6 +6,7 @@ Command line::
         [--schemes IQ_64_64,IF_distr] [--workers N]
         [--benchmarks int|fp|all] [--kernel naive|skip]
         [--cache-dir DIR] [--no-cache]
+        [--output json|csv] [--output-path FILE]
 
 This is the batch entry point behind the per-figure benchmarks: it
 shares one cached runner across all figures, prefetches the whole
@@ -28,6 +29,13 @@ warm cache.
 ``skip`` (default) jumps over provably dead cycles, ``naive`` ticks every
 cycle. Results are bit-identical; the campaign footer reports how many
 cycles were actually executed vs. skipped.
+
+``--output json|csv`` additionally exports the rendered figures' *data*
+(via the exploration subsystem's atomic artifact writers): JSON keeps
+each figure's native mapping shape under ``figure_<n>`` keys; CSV
+flattens every figure into ``(figure, title, series/column/row, value)``
+records. ``--output-path`` overrides the default ``campaign.json`` /
+``campaign.csv``.
 """
 
 from __future__ import annotations
@@ -43,7 +51,14 @@ from repro.experiments.report import render_breakdown, render_series, render_tab
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.experiments.store import ResultStore, default_cache_dir
 
-__all__ = ["run_campaign", "main", "ALL_FIGURES", "figures_for_suite"]
+__all__ = [
+    "run_campaign",
+    "main",
+    "ALL_FIGURES",
+    "figures_for_suite",
+    "figure_rows",
+    "export_campaign",
+]
 
 _SERIES_FIGURES = {2, 3, 4, 6}
 _TABLE_FIGURES = {7, 8, 12, 13, 14, 15}
@@ -83,6 +98,53 @@ def figures_for_suite(benchmarks: str) -> List[int]:
 
 def _generator(number: int) -> Callable[[ExperimentRunner], Dict]:
     return getattr(fig_mod, f"figure{number}")
+
+
+def figure_rows(number: int, data: Dict) -> List[Dict]:
+    """Flatten one figure's data into CSV-friendly records."""
+    title = _TITLES[number]
+    rows: List[Dict] = []
+    if number in _SERIES_FIGURES:
+        for series, value in data.items():
+            rows.append({"figure": number, "title": title,
+                         "series": series, "value": value})
+    elif number in _BREAKDOWN_FIGURES:
+        for suite, components in data.items():
+            for component, value in components.items():
+                rows.append({"figure": number, "title": title, "suite": suite,
+                             "component": component, "value": value})
+    else:
+        for column, cells in data.items():
+            for row, value in cells.items():
+                rows.append({"figure": number, "title": title, "column": column,
+                             "row": row, "value": value})
+    return rows
+
+
+def export_campaign(
+    runner: ExperimentRunner, figure_numbers: List[int], fmt: str, path: str
+) -> str:
+    """Write the figures' data as a JSON or CSV artifact; returns the path.
+
+    Reuses the exploration subsystem's atomic writers; with a prefetched
+    runner the generators replay from the warm memory cache, so the
+    export costs no simulations.
+    """
+    from repro.explore.artifacts import write_csv, write_json
+
+    if fmt == "json":
+        payload = {
+            f"figure_{number}": {
+                "title": _TITLES[number],
+                "data": _generator(number)(runner),
+            }
+            for number in figure_numbers
+        }
+        return str(write_json(path, payload))
+    rows: List[Dict] = []
+    for number in figure_numbers:
+        rows.extend(figure_rows(number, _generator(number)(runner)))
+    return str(write_csv(path, rows))
 
 
 def run_campaign(
@@ -142,7 +204,17 @@ def main(argv: List[str] = None) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result store entirely "
                              "(forces a cold, non-persisting run)")
+    parser.add_argument("--output", choices=("json", "csv"), default=None,
+                        help="also export the rendered figures' data as an "
+                             "artifact (JSON keeps figure shapes, CSV "
+                             "flattens to records)")
+    parser.add_argument("--output-path", type=str, default=None,
+                        help="artifact path for --output (default "
+                             "campaign.json / campaign.csv)")
     args = parser.parse_args(argv)
+
+    if args.output_path and not args.output:
+        parser.error("--output-path requires --output json|csv")
 
     if args.figures:
         try:
@@ -183,6 +255,11 @@ def main(argv: List[str] = None) -> None:
             "--schemes is a warm-only sweep (it renders nothing); combining it "
             "with --no-cache would simulate and then discard every result"
         )
+    if args.schemes and args.output:
+        parser.error(
+            "--schemes is a warm-only sweep (it renders no figures), so there "
+            "is no figure data for --output to export"
+        )
     if args.schemes:
         wanted = [name.strip() for name in args.schemes.split(",") if name.strip()]
         matrix = fig_mod.required_runs(numbers)
@@ -206,6 +283,10 @@ def main(argv: List[str] = None) -> None:
         for number in numbers:
             print(run_campaign(runner, [number], workers=args.workers)[number])
             print()
+        if args.output:
+            path = args.output_path or f"campaign.{args.output}"
+            written = export_campaign(runner, numbers, args.output, path)
+            print(f"exported {len(numbers)} figures to {written}")
     elapsed = time.perf_counter() - started
     stats = runner.cache_stats()
     kernel_tel = engine.GLOBAL_TELEMETRY

@@ -27,11 +27,15 @@ sees the whole fleet.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.common.config import IssueSchemeConfig
+from repro.common.config import IssueSchemeConfig, ProcessorConfig
 from repro.common.stats import SimulationStats
 from repro.core import engine
+
+#: Mirrors :data:`repro.experiments.runner.SchemeOrConfig` (kept local to
+#: avoid importing the runner in the parent before workers fork/spawn).
+_SchemeOrConfig = Union[IssueSchemeConfig, ProcessorConfig]
 
 __all__ = ["simulate_matrix", "worker_count"]
 
@@ -62,7 +66,7 @@ def _load_worker_trace(benchmark: str, scale, trace_dir: Optional[str]):
 
 
 def _simulate_to_payload(
-    job: Tuple[str, IssueSchemeConfig, "RunScale", Optional[str], Optional[str]]
+    job: Tuple[str, _SchemeOrConfig, "RunScale", Optional[str], Optional[str]]
 ) -> dict:
     """Worker entry point: simulate one pair, return stats + telemetry."""
     # Imported here (not at module top) so the parent's import of this
@@ -82,7 +86,7 @@ def _simulate_to_payload(
 
 
 def simulate_matrix(
-    pairs: Sequence[Tuple[str, IssueSchemeConfig]],
+    pairs: Sequence[Tuple[str, _SchemeOrConfig]],
     scale: "RunScale",
     workers: int,
     kernel: Optional[str] = None,

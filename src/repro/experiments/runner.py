@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.common.config import IssueSchemeConfig, default_config
+from repro.common.config import IssueSchemeConfig, ProcessorConfig, default_config
 from repro.common.stats import SimulationStats
 from repro.core.processor import Processor
 from repro.experiments.store import ResultStore, result_key
@@ -40,8 +40,23 @@ __all__ = [
     "ExperimentRunner",
     "CacheTelemetry",
     "DEFAULT_SCALE",
+    "SchemeOrConfig",
+    "resolve_config",
     "simulate_pair",
 ]
+
+#: Everywhere the experiments layer takes "what to simulate", it accepts
+#: either a bare issue-scheme config (simulated inside the Table 1
+#: processor, the common case) or a full :class:`ProcessorConfig` (the
+#: exploration subsystem varies processor knobs too).
+SchemeOrConfig = Union[IssueSchemeConfig, ProcessorConfig]
+
+
+def resolve_config(scheme: SchemeOrConfig) -> ProcessorConfig:
+    """Full processor config for a scheme-or-config simulation target."""
+    if isinstance(scheme, ProcessorConfig):
+        return scheme
+    return default_config(scheme)
 
 
 @dataclass(frozen=True)
@@ -80,26 +95,28 @@ class CacheTelemetry:
 
 def simulate_pair(
     benchmark: str,
-    scheme: IssueSchemeConfig,
+    scheme: SchemeOrConfig,
     scale: RunScale,
     trace: Optional[Trace] = None,
     kernel: Optional[str] = None,
 ) -> Tuple[SimulationStats, Trace]:
-    """Simulate one (benchmark, scheme) pair from scratch.
+    """Simulate one (benchmark, scheme-or-config) pair from scratch.
 
     This is *the* simulation entry point: the serial runner and the
     multiprocessing workers both call it, so every execution path runs
-    identical code. Pass a previously generated ``trace`` to skip trace
-    generation (traces are deterministic in (profile, length, seed), so a
-    reused trace is indistinguishable from a fresh one). ``kernel``
-    overrides the config's simulation kernel (``"naive"``/``"skip"``) —
-    a wall-clock knob only, results are bit-identical either way.
+    identical code. ``scheme`` is an :class:`IssueSchemeConfig` (run
+    inside the Table 1 processor) or a full :class:`ProcessorConfig`.
+    Pass a previously generated ``trace`` to skip trace generation
+    (traces are deterministic in (profile, length, seed), so a reused
+    trace is indistinguishable from a fresh one). ``kernel`` overrides
+    the config's simulation kernel (``"naive"``/``"skip"``) — a
+    wall-clock knob only, results are bit-identical either way.
     Returns the stats together with the trace for reuse.
     """
     profile = get_profile(benchmark)
     if trace is None:
         trace = generate_trace(profile, scale.num_instructions, seed=scale.seed)
-    config = default_config(scheme)
+    config = resolve_config(scheme)
     if kernel is not None:
         config = config.with_kernel(kernel)
     processor = Processor(config, trace)
@@ -142,7 +159,7 @@ class ExperimentRunner:
         self.kernel = kernel
         self.telemetry = CacheTelemetry()
         self._trace_cache: Dict[str, Trace] = {}
-        self._result_cache: Dict[Tuple[str, IssueSchemeConfig], SimulationStats] = {}
+        self._result_cache: Dict[Tuple[str, SchemeOrConfig], SimulationStats] = {}
 
     def _trace_dir(self) -> Optional[str]:
         """Spill directory for worker-shared traces (disk cache root)."""
@@ -160,16 +177,16 @@ class ExperimentRunner:
             )
         return self._trace_cache[benchmark]
 
-    def store_key(self, benchmark: str, scheme: IssueSchemeConfig) -> str:
+    def store_key(self, benchmark: str, scheme: SchemeOrConfig) -> str:
         """Content address of this pair's result at this runner's scale."""
-        return result_key(default_config(scheme), get_profile(benchmark), self.scale)
+        return result_key(resolve_config(scheme), get_profile(benchmark), self.scale)
 
     def cache_stats(self) -> Dict[str, int]:
         """Cumulative memory-hit / disk-hit / simulation counts."""
         return self.telemetry.as_dict()
 
     def _lookup(
-        self, benchmark: str, scheme: IssueSchemeConfig
+        self, benchmark: str, scheme: SchemeOrConfig
     ) -> Optional[SimulationStats]:
         """Memory then disk lookup; promotes disk hits into memory."""
         key = (benchmark, scheme)
@@ -186,7 +203,7 @@ class ExperimentRunner:
         return None
 
     def _record(
-        self, benchmark: str, scheme: IssueSchemeConfig, stats: SimulationStats
+        self, benchmark: str, scheme: SchemeOrConfig, stats: SimulationStats
     ) -> None:
         """File a freshly simulated result into memory and disk layers."""
         self.telemetry.simulations += 1
@@ -194,8 +211,8 @@ class ExperimentRunner:
         if self.store is not None:
             self.store.save(self.store_key(benchmark, scheme), stats)
 
-    def run(self, benchmark: str, scheme: IssueSchemeConfig) -> SimulationStats:
-        """Simulate one (benchmark, scheme) pair (cached)."""
+    def run(self, benchmark: str, scheme: SchemeOrConfig) -> SimulationStats:
+        """Simulate one (benchmark, scheme-or-config) pair (cached)."""
         stats = self._lookup(benchmark, scheme)
         if stats is None:
             stats, trace = simulate_pair(
@@ -211,7 +228,7 @@ class ExperimentRunner:
 
     def run_many(
         self,
-        pairs: Sequence[Tuple[str, IssueSchemeConfig]],
+        pairs: Sequence[Tuple[str, SchemeOrConfig]],
         workers: Optional[int] = None,
     ) -> List[SimulationStats]:
         """Resolve many pairs at once; results in input order.
@@ -223,7 +240,7 @@ class ExperimentRunner:
         only wall-clock time changes.
         """
         workers = self.workers if workers is None else workers
-        misses: List[Tuple[str, IssueSchemeConfig]] = []
+        misses: List[Tuple[str, SchemeOrConfig]] = []
         for benchmark, scheme in pairs:
             if self._lookup(benchmark, scheme) is None:
                 pair = (benchmark, scheme)
@@ -258,7 +275,7 @@ class ExperimentRunner:
 
     def prefetch(
         self,
-        pairs: Sequence[Tuple[str, IssueSchemeConfig]],
+        pairs: Sequence[Tuple[str, SchemeOrConfig]],
         workers: Optional[int] = None,
     ) -> None:
         """Warm the memory cache for ``pairs`` (parallel when configured).
@@ -268,11 +285,11 @@ class ExperimentRunner:
         """
         self.run_many(pairs, workers=workers)
 
-    def ipc(self, benchmark: str, scheme: IssueSchemeConfig) -> float:
+    def ipc(self, benchmark: str, scheme: SchemeOrConfig) -> float:
         return self.run(benchmark, scheme).ipc
 
     def ipc_loss_pct(
-        self, benchmark: str, scheme: IssueSchemeConfig, baseline: IssueSchemeConfig
+        self, benchmark: str, scheme: SchemeOrConfig, baseline: SchemeOrConfig
     ) -> float:
         """IPC loss of ``scheme`` relative to ``baseline``, in percent."""
         base = self.ipc(benchmark, baseline)
@@ -281,8 +298,8 @@ class ExperimentRunner:
     def average_loss_pct(
         self,
         benchmarks: Iterable[str],
-        scheme: IssueSchemeConfig,
-        baseline: IssueSchemeConfig,
+        scheme: SchemeOrConfig,
+        baseline: SchemeOrConfig,
     ) -> float:
         """Arithmetic-mean IPC loss across a suite, in percent."""
         losses: List[float] = [

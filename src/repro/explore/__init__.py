@@ -1,0 +1,47 @@
+"""Design-space exploration (DSE) over schemes × geometries × workloads.
+
+The paper evaluates a handful of hand-picked configurations; this
+subsystem *searches* the space instead. A declarative
+:class:`~repro.explore.space.DesignSpace` expands parameter assignments
+into concrete (processor config, workload) points; each point is scored
+on energy/performance objectives (:mod:`repro.explore.objectives`,
+reusing :mod:`repro.energy.metrics`); :mod:`repro.explore.pareto`
+computes non-dominated sets and adaptively refines the frontier; and
+:mod:`repro.explore.drivers` runs everything through the cached,
+parallel :class:`~repro.experiments.runner.ExperimentRunner` stack and
+writes JSON/CSV artifacts (:mod:`repro.explore.artifacts`).
+
+Command line: ``python -m repro.explore --samples 32 --rounds 2``.
+"""
+
+from repro.explore.artifacts import write_csv, write_json
+from repro.explore.drivers import (
+    DEFAULT_EXPLORE_BENCHMARKS,
+    ExplorationResult,
+    ExplorationSettings,
+    run_exploration,
+    write_artifacts,
+)
+from repro.explore.objectives import OBJECTIVES, ObjectiveScorer, PointScore
+from repro.explore.pareto import pair_fronts, pareto_front, refine
+from repro.explore.space import DesignPoint, DesignSpace, Dimension, default_space
+
+__all__ = [
+    "DEFAULT_EXPLORE_BENCHMARKS",
+    "DesignPoint",
+    "DesignSpace",
+    "Dimension",
+    "ExplorationResult",
+    "ExplorationSettings",
+    "OBJECTIVES",
+    "ObjectiveScorer",
+    "PointScore",
+    "default_space",
+    "pair_fronts",
+    "pareto_front",
+    "refine",
+    "run_exploration",
+    "write_artifacts",
+    "write_csv",
+    "write_json",
+]

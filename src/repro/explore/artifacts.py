@@ -1,0 +1,146 @@
+"""Artifact writers shared by the exploration and campaign CLIs.
+
+:func:`write_json` / :func:`write_csv` are generic, atomic writers (the
+campaign CLI's ``--output`` reuses them); the ``exploration_*`` helpers
+shape an :class:`~repro.explore.drivers.ExplorationResult` into the
+frontier JSON artifact, flat CSV rows and the text report rendered with
+:mod:`repro.experiments.report`.
+
+The JSON artifact is deterministic for a fixed seed: it carries the
+settings, the declared space, every scored point and the frontier ids —
+but no wall-clock or cache telemetry — so cold and warm runs of the same
+exploration produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.report import render_series, render_table
+
+__all__ = [
+    "write_json",
+    "write_csv",
+    "exploration_payload",
+    "exploration_rows",
+    "frontier_report",
+]
+
+
+def _atomic_write_text(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def write_json(path: os.PathLike, payload) -> Path:
+    """Atomically write ``payload`` as sorted, indented JSON."""
+    text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    return _atomic_write_text(Path(path), text)
+
+
+def write_csv(
+    path: os.PathLike,
+    rows: Sequence[Mapping[str, object]],
+    fieldnames: Optional[Sequence[str]] = None,
+) -> Path:
+    """Atomically write dict ``rows`` as CSV.
+
+    Column order defaults to first-seen key order across all rows, so
+    heterogeneous rows (e.g. different figure shapes) still land in one
+    coherent table; missing cells stay empty.
+    """
+    if fieldnames is None:
+        names: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        fieldnames = names
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return _atomic_write_text(Path(path), buffer.getvalue())
+
+
+# ---------------------------------------------------------------------------
+# Exploration-specific shaping.
+# ---------------------------------------------------------------------------
+
+
+def exploration_rows(result) -> List[Dict[str, object]]:
+    """One flat record per scored point (assignment + objectives)."""
+    frontier = {score.point.point_id for score in result.frontier}
+    rows = []
+    for score in result.scores:
+        row = score.as_row()
+        row["on_frontier"] = score.point.point_id in frontier
+        rows.append(row)
+    return rows
+
+
+def exploration_payload(result) -> Dict[str, object]:
+    """The JSON artifact: settings, space, points, fronts."""
+    return {
+        "subsystem": "repro.explore",
+        "settings": result.settings.as_dict(),
+        "space": result.space.describe(),
+        "points": exploration_rows(result),
+        "frontier": [score.point.point_id for score in result.frontier],
+        "pair_fronts": {
+            pair: [score.point.point_id for score in front]
+            for pair, front in result.pair_fronts.items()
+        },
+        "refinement": result.rounds_log,
+    }
+
+
+def frontier_report(result) -> str:
+    """Text report of the frontier via the figure renderers."""
+    sections = []
+    table = {
+        name: {
+            score.point.label: score.objectives[name] for score in result.frontier
+        }
+        for name in result.objective_names
+    }
+    sections.append(
+        render_table(
+            f"Pareto frontier ({len(result.frontier)} of "
+            f"{len(result.scores)} points)",
+            table,
+        )
+    )
+    pair_sizes = {
+        pair: float(len(front)) for pair, front in result.pair_fronts.items()
+    }
+    sections.append(
+        render_series("Non-dominated points per objective pair", pair_sizes, unit="")
+    )
+    if result.rounds_log:
+        rounds = {
+            f"round {entry['round']}": float(entry["evaluated"])
+            for entry in result.rounds_log
+        }
+        sections.append(
+            render_series("Refinement: new points evaluated", rounds, unit="")
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,192 @@
+"""Exploration drivers: wire space → runner → objectives → frontier.
+
+:func:`run_exploration` is the library entry point (the
+``python -m repro.explore`` CLI is a thin argparse shim over it). It
+executes every sampled point through the existing
+:class:`~repro.experiments.runner.ExperimentRunner` memory → disk →
+parallel stack, so a warm re-exploration resolves every simulation from
+cache and refinement rounds only pay for genuinely new points — and all
+runs stay bit-identical under both simulation kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import ExperimentRunner, ResultStore, RunScale
+from repro.explore.artifacts import (
+    exploration_payload,
+    exploration_rows,
+    frontier_report,
+    write_csv,
+    write_json,
+)
+from repro.explore.objectives import OBJECTIVES, ObjectiveScorer, PointScore
+from repro.explore.pareto import pair_fronts, pareto_front, refine
+from repro.explore.space import DesignSpace, default_space
+from repro.workloads.suites import (
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    STRESS_BENCHMARKS,
+    get_profile,
+)
+
+__all__ = [
+    "DEFAULT_EXPLORE_BENCHMARKS",
+    "ExplorationSettings",
+    "ExplorationResult",
+    "resolve_benchmarks",
+    "run_exploration",
+    "write_artifacts",
+]
+
+#: Default workload axis: the four stress scenarios plus one
+#: representative of each paper regime (branchy int, memory-bound int,
+#: streaming fp) — small enough for interactive runs, diverse enough
+#: that the frontier is not one benchmark's opinion.
+DEFAULT_EXPLORE_BENCHMARKS: Tuple[str, ...] = tuple(
+    STRESS_BENCHMARKS + ["gzip", "mcf", "swim"]
+)
+
+_BENCHMARK_GROUPS = {
+    "mini": DEFAULT_EXPLORE_BENCHMARKS,
+    "stress": tuple(STRESS_BENCHMARKS),
+    "int": tuple(INT_BENCHMARKS),
+    "fp": tuple(FP_BENCHMARKS),
+    "all": tuple(INT_BENCHMARKS + FP_BENCHMARKS + STRESS_BENCHMARKS),
+}
+
+
+def resolve_benchmarks(spec: str) -> Tuple[str, ...]:
+    """Benchmark names for a ``--benchmarks`` spec.
+
+    ``spec`` is a named group (``mini``, ``stress``, ``int``, ``fp``,
+    ``all``) or a comma-separated list of profile names; unknown names
+    raise the usual :class:`UnknownBenchmarkError` with the known set.
+    """
+    if spec in _BENCHMARK_GROUPS:
+        return _BENCHMARK_GROUPS[spec]
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    if not names:
+        raise ConfigurationError(f"empty benchmark spec {spec!r}")
+    for name in names:
+        get_profile(name)  # raises UnknownBenchmarkError with the known set
+    return names
+
+
+@dataclass(frozen=True)
+class ExplorationSettings:
+    """Everything that determines an exploration (and its artifact)."""
+
+    samples: int = 32
+    rounds: int = 2
+    seed: int = 11
+    strategy: str = "mixed"
+    benchmarks: Tuple[str, ...] = DEFAULT_EXPLORE_BENCHMARKS
+    neighbors_per_point: int = 4
+    num_instructions: int = 2000
+    workers: int = 0
+    kernel: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.samples < 1:
+            raise ConfigurationError("need at least one sample")
+        if self.rounds < 0:
+            raise ConfigurationError("rounds cannot be negative")
+        if self.neighbors_per_point < 1:
+            raise ConfigurationError("need at least one neighbor per point")
+        if not self.benchmarks:
+            raise ConfigurationError("need at least one benchmark")
+
+    def scale(self) -> RunScale:
+        return RunScale(
+            num_instructions=self.num_instructions,
+            warmup_instructions=self.num_instructions // 2,
+            seed=self.seed,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "samples": self.samples,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "benchmarks": list(self.benchmarks),
+            "neighbors_per_point": self.neighbors_per_point,
+            "num_instructions": self.num_instructions,
+        }
+
+
+@dataclass
+class ExplorationResult:
+    """Everything an exploration produced."""
+
+    settings: ExplorationSettings
+    space: DesignSpace
+    scores: List[PointScore]
+    frontier: List[PointScore]
+    pair_fronts: Dict[str, List[PointScore]]
+    rounds_log: List[Dict[str, int]]
+    cache_stats: Dict[str, int]
+    objective_names: Sequence[str] = OBJECTIVES
+
+    def report(self) -> str:
+        return frontier_report(self)
+
+
+def run_exploration(
+    settings: ExplorationSettings,
+    space: Optional[DesignSpace] = None,
+    store: Union[ResultStore, None, bool] = None,
+) -> ExplorationResult:
+    """Sample, score and refine; returns the full result.
+
+    ``space`` defaults to :func:`~repro.explore.space.default_space`
+    over the settings' benchmarks. ``store`` selects the disk cache
+    exactly as for :class:`ExperimentRunner` (``None`` = honour
+    ``$REPRO_CACHE_DIR``, ``False`` = no disk layer).
+    """
+    settings.validate()
+    if space is None:
+        space = default_space(settings.benchmarks)
+    runner = ExperimentRunner(
+        settings.scale(),
+        store=store,
+        workers=settings.workers,
+        kernel=settings.kernel,
+    )
+    scorer = ObjectiveScorer(runner)
+    assignments = space.sample(settings.strategy, settings.samples, settings.seed)
+    points = space.expand(assignments)
+    if not points:
+        raise ConfigurationError("exploration sampled no valid points")
+    scores = scorer.score_many(points)
+    scores, rounds_log = refine(
+        space,
+        scorer.score_many,
+        scores,
+        rounds=settings.rounds,
+        per_point=settings.neighbors_per_point,
+        seed=settings.seed,
+    )
+    return ExplorationResult(
+        settings=settings,
+        space=space,
+        scores=scores,
+        frontier=pareto_front(scores),
+        pair_fronts=pair_fronts(scores),
+        rounds_log=rounds_log,
+        cache_stats=runner.cache_stats(),
+    )
+
+
+def write_artifacts(result: ExplorationResult, out_dir) -> Dict[str, Path]:
+    """Write the frontier JSON and the per-point CSV; returns the paths."""
+    out = Path(out_dir)
+    return {
+        "json": write_json(out / "frontier.json", exploration_payload(result)),
+        "csv": write_csv(out / "points.csv", exploration_rows(result)),
+    }

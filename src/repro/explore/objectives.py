@@ -1,0 +1,134 @@
+"""Objective scoring for exploration points.
+
+Each :class:`~repro.explore.space.DesignPoint` is scored against the
+paper's Section 4 baseline organization (a conventional 64+64-entry
+CAM/RAM queue) *running in the same processor context* — same issue
+width, same ROB — so the objectives isolate the issue organization:
+
+* ``ipc_loss_pct`` — IPC loss vs. the baseline, in percent (the paper's
+  performance axis; negative means the point is faster),
+* ``energy`` — issue-logic energy normalized to the baseline
+  (Figure 13's metric),
+* ``energy_delay`` / ``energy_delay2`` — whole-chip ED and ED²
+  normalized to the baseline, under the paper's 23%-of-chip calibration
+  (Figures 14/15, via :mod:`repro.energy.metrics`).
+
+All four objectives are minimized. Simulations resolve through the
+:class:`~repro.experiments.runner.ExperimentRunner` cache stack, so
+re-scoring a point anyone has ever evaluated is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import IssueSchemeConfig, ProcessorConfig
+from repro.energy.metrics import calibrate_rest_of_chip, compute_metrics
+from repro.energy.model import EnergyModel
+from repro.experiments.configs import IQ_64_64
+from repro.experiments.runner import ExperimentRunner
+from repro.explore.space import DesignPoint
+
+__all__ = ["OBJECTIVES", "PointScore", "ObjectiveScorer"]
+
+#: Objective names, all minimized, in report order.
+OBJECTIVES: Tuple[str, ...] = (
+    "ipc_loss_pct",
+    "energy",
+    "energy_delay",
+    "energy_delay2",
+)
+
+
+@dataclass(frozen=True)
+class PointScore:
+    """One evaluated point: raw performance plus normalized objectives."""
+
+    point: DesignPoint
+    ipc: float
+    baseline_ipc: float
+    objectives: Dict[str, float]
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat record for CSV artifacts and reports."""
+        row: Dict[str, object] = {
+            "point_id": self.point.point_id,
+            "label": self.point.label,
+            "benchmark": self.point.benchmark,
+        }
+        row.update(self.point.assignment_dict)
+        row["ipc"] = self.ipc
+        row["baseline_ipc"] = self.baseline_ipc
+        for name in OBJECTIVES:
+            row[name] = self.objectives[name]
+        return row
+
+
+class ObjectiveScorer:
+    """Scores points through a shared (cached, parallel) runner."""
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        baseline_scheme: IssueSchemeConfig = IQ_64_64,
+    ) -> None:
+        self.runner = runner
+        self.baseline_scheme = baseline_scheme
+
+    def baseline_config(self, point: DesignPoint) -> ProcessorConfig:
+        """The point's processor with the baseline issue organization."""
+        return replace(point.config, scheme=self.baseline_scheme)
+
+    def required_pairs(self, points: Sequence[DesignPoint]) -> List[Tuple[str, ProcessorConfig]]:
+        """Deduplicated (benchmark, config) simulations scoring needs.
+
+        This is the prefetch frontier: handing it to
+        :meth:`ExperimentRunner.run_many` warms the memory cache (in
+        parallel when the runner is configured for it) so scoring itself
+        never simulates.
+        """
+        pairs: List[Tuple[str, ProcessorConfig]] = []
+        seen = set()
+        for point in points:
+            for config in (self.baseline_config(point), point.config):
+                key = (point.benchmark, config)
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append(key)
+        return pairs
+
+    def score(self, point: DesignPoint) -> PointScore:
+        """Evaluate one point (hits the warm cache after a prefetch)."""
+        base_config = self.baseline_config(point)
+        base_stats = self.runner.run(point.benchmark, base_config)
+        stats = self.runner.run(point.benchmark, point.config)
+        base_model = EnergyModel(base_config)
+        model = EnergyModel(point.config)
+        rest = calibrate_rest_of_chip(
+            base_model.energy_pj(base_stats.events.as_dict()),
+            base_stats.cycles,
+            base_stats.committed_instructions,
+        )
+        base_metrics = compute_metrics(base_model, base_stats, rest)
+        metrics = compute_metrics(model, stats, rest)
+        normalized = metrics.normalized_to(base_metrics)
+        objectives = {
+            "ipc_loss_pct": 100.0 * (base_stats.ipc - stats.ipc) / base_stats.ipc,
+            "energy": normalized["energy"],
+            "energy_delay": normalized["energy_delay"],
+            "energy_delay2": normalized["energy_delay2"],
+        }
+        return PointScore(
+            point=point,
+            ipc=stats.ipc,
+            baseline_ipc=base_stats.ipc,
+            objectives=objectives,
+        )
+
+    def score_many(self, points: Sequence[DesignPoint]) -> List[PointScore]:
+        """Prefetch every needed simulation, then score each point."""
+        if not points:
+            return []
+        self.runner.prefetch(self.required_pairs(points))
+        return [self.score(point) for point in points]

@@ -1,0 +1,117 @@
+"""Pareto dominance, frontier extraction and adaptive refinement.
+
+All objectives are minimized. A point *dominates* another when it is no
+worse on every objective and strictly better on at least one; the
+*frontier* is the non-dominated subset. :func:`refine` implements the
+AnICA-style interesting-point loop: for K rounds, re-sample the
+neighbourhoods of current frontier points (single-dimension
+perturbations from the :class:`~repro.explore.space.DesignSpace`),
+evaluate whatever is new, and fold it back in — so search effort
+concentrates where the energy/performance trade-off is actually won.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.common.rng import make_rng
+from repro.explore.objectives import OBJECTIVES, PointScore
+from repro.explore.space import DesignSpace
+
+__all__ = ["dominates", "pareto_front", "pair_fronts", "refine"]
+
+
+def dominates(
+    a: Mapping[str, float], b: Mapping[str, float], keys: Sequence[str]
+) -> bool:
+    """True if objectives ``a`` dominate ``b`` (minimization)."""
+    strictly_better = False
+    for key in keys:
+        if a[key] > b[key]:
+            return False
+        if a[key] < b[key]:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(
+    scores: Sequence[PointScore], keys: Sequence[str] = OBJECTIVES
+) -> List[PointScore]:
+    """Non-dominated subset of ``scores``, in input order.
+
+    Duplicate objective vectors are all kept (none dominates the other),
+    which preserves distinct configurations that happen to tie.
+    """
+    front: List[PointScore] = []
+    for candidate in scores:
+        if not any(
+            dominates(other.objectives, candidate.objectives, keys)
+            for other in scores
+            if other is not candidate
+        ):
+            front.append(candidate)
+    return front
+
+
+def pair_fronts(
+    scores: Sequence[PointScore], keys: Sequence[str] = OBJECTIVES
+) -> Dict[str, List[PointScore]]:
+    """2-D frontier per objective pair, keyed ``"<a>|<b>"``.
+
+    The full-dimensional front answers "is this point useful at all";
+    the pairwise fronts are what the paper's figures actually plot
+    (e.g. IPC loss vs. energy), and any non-empty score set yields at
+    least one non-dominated point per pair.
+    """
+    return {
+        f"{a}|{b}": pareto_front(scores, (a, b)) for a, b in combinations(keys, 2)
+    }
+
+
+def refine(
+    space: DesignSpace,
+    evaluate: Callable[[Sequence], List[PointScore]],
+    scores: Sequence[PointScore],
+    rounds: int,
+    per_point: int,
+    seed: int,
+    keys: Sequence[str] = OBJECTIVES,
+) -> Tuple[List[PointScore], List[Dict[str, int]]]:
+    """Adaptively re-sample frontier neighbourhoods for ``rounds`` rounds.
+
+    ``evaluate`` maps a list of fresh :class:`DesignPoint`\\ s to their
+    scores (the drivers wire it to a batched, cache-backed scorer).
+    Already-evaluated points (by ``point_id``) are never re-submitted,
+    so warm reruns converge without touching the simulator. Returns the
+    accumulated scores plus one telemetry record per round.
+    """
+    all_scores: List[PointScore] = list(scores)
+    evaluated = {score.point.point_id for score in all_scores}
+    log: List[Dict[str, int]] = []
+    for round_index in range(rounds):
+        frontier = pareto_front(all_scores, keys)
+        rng = make_rng(seed, f"explore.refine.{round_index}")
+        candidates = []
+        for score in frontier:
+            candidates.extend(
+                space.neighborhood(score.point.assignment_dict, per_point, rng)
+            )
+        fresh = [
+            point
+            for point in space.expand(candidates)
+            if point.point_id not in evaluated
+        ]
+        new_scores = evaluate(fresh)
+        evaluated.update(score.point.point_id for score in new_scores)
+        all_scores.extend(new_scores)
+        log.append(
+            {
+                "round": round_index + 1,
+                "frontier_size": len(frontier),
+                "candidates": len(candidates),
+                "evaluated": len(new_scores),
+                "total_points": len(all_scores),
+            }
+        )
+    return all_scores, log

@@ -1,0 +1,333 @@
+"""Declarative parameter spaces over scheme geometry, processor knobs
+and workloads.
+
+A :class:`DesignSpace` is a list of named :class:`Dimension`\\ s — issue
+scheme kind, queue counts and depths, distributed-FU binding, MixBUFF
+chain caps, issue width, ROB size, and the benchmark axis — plus the
+expansion logic that turns an *assignment* (one value per dimension)
+into a concrete :class:`DesignPoint`: a validated
+:class:`~repro.common.config.ProcessorConfig` paired with a workload.
+
+Assignments are *repaired* rather than rejected where the paper's
+structural rules make a combination meaningless (a conventional queue
+has one queue per side, only MixBUFF caps chains, distributed FUs need
+multiple queues), so every sampled assignment lands on a simulable
+point and near-duplicate assignments collapse onto the same
+content-addressed point id.
+
+Sampling is deterministic: grid enumeration walks dimensions in
+declaration order, and random/mixed sampling draws from
+:func:`repro.common.rng.make_rng` streams derived from the caller's
+seed, so a fixed seed always explores the same points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import (
+    SCHEME_CONVENTIONAL,
+    SCHEME_MIXBUFF,
+    IssueSchemeConfig,
+    ProcessorConfig,
+    scheme_name,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+__all__ = ["Dimension", "DesignPoint", "DesignSpace", "default_space"]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of the search space.
+
+    ``values`` is the ordered domain. ``ordinal`` dimensions (sizes,
+    widths) treat adjacent values as neighbours during refinement;
+    categorical dimensions (scheme kind, benchmark) treat every other
+    value as a neighbour, since there is no metric between them.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    ordinal: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"dimension {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ConfigurationError(f"dimension {self.name!r} has duplicate values")
+
+    def sample(self, rng) -> Any:
+        """One uniformly drawn value."""
+        return self.values[rng.randrange(len(self.values))]
+
+    def neighbors(self, value: Any) -> Tuple[Any, ...]:
+        """Values adjacent to ``value`` for frontier refinement.
+
+        A value outside the declared domain (produced by assignment
+        repair) has no neighbours — refinement then perturbs the other
+        dimensions instead.
+        """
+        try:
+            index = self.values.index(value)
+        except ValueError:
+            return ()
+        if not self.ordinal:
+            return tuple(v for v in self.values if v != value)
+        out = []
+        if index > 0:
+            out.append(self.values[index - 1])
+        if index + 1 < len(self.values):
+            out.append(self.values[index + 1])
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One concrete, simulable (config, workload) pair.
+
+    ``assignment`` keeps the *raw* sampled values (hashable item tuple)
+    so refinement can perturb them dimension-wise; ``config`` is the
+    repaired, validated processor configuration the assignment expands
+    to. ``point_id`` is content-addressed over the config and the
+    benchmark, so assignments that repair to the same machine collapse.
+    """
+
+    assignment: Tuple[Tuple[str, Any], ...]
+    benchmark: str
+    config: ProcessorConfig
+    label: str
+    point_id: str
+
+    @property
+    def assignment_dict(self) -> Dict[str, Any]:
+        return dict(self.assignment)
+
+
+#: Dimension names with structural meaning to the expansion logic.
+_KNOWN_DIMENSIONS = (
+    "kind",
+    "int_queues",
+    "int_entries",
+    "fp_queues",
+    "fp_entries",
+    "distributed_fus",
+    "max_chains",
+    "issue_width",
+    "rob_entries",
+    "benchmark",
+)
+
+
+class DesignSpace:
+    """A declared set of dimensions plus assignment-expansion logic."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate dimension names in design space")
+        unknown = [n for n in names if n not in _KNOWN_DIMENSIONS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown dimensions {unknown}; known: {list(_KNOWN_DIMENSIONS)}"
+            )
+        if "benchmark" not in names:
+            raise ConfigurationError("a design space needs a 'benchmark' dimension")
+        self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
+        self._by_name: Dict[str, Dimension] = {d.name: d for d in dimensions}
+
+    # -- declaration ---------------------------------------------------
+    def __len__(self) -> int:
+        """Number of assignments in the full Cartesian grid."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.values)
+        return total
+
+    def describe(self) -> Dict[str, List[Any]]:
+        """JSON-friendly rendering of the declared space."""
+        return {d.name: list(d.values) for d in self.dimensions}
+
+    def _get(self, assignment: Mapping[str, Any], name: str, fallback: Any) -> Any:
+        dim = self._by_name.get(name)
+        if name in assignment:
+            return assignment[name]
+        if dim is not None:
+            return dim.values[0]
+        return fallback
+
+    # -- expansion -----------------------------------------------------
+    def build_point(self, assignment: Mapping[str, Any]) -> DesignPoint:
+        """Expand one assignment into a validated :class:`DesignPoint`.
+
+        Structural repairs (see module docstring) are applied here, so
+        the caller may sample dimensions independently.
+        """
+        kind = self._get(assignment, "kind", SCHEME_CONVENTIONAL)
+        int_queues = self._get(assignment, "int_queues", 8)
+        int_entries = self._get(assignment, "int_entries", 8)
+        fp_queues = self._get(assignment, "fp_queues", 8)
+        fp_entries = self._get(assignment, "fp_entries", 16)
+        distributed = self._get(assignment, "distributed_fus", False)
+        max_chains = self._get(assignment, "max_chains", None)
+        issue_width = self._get(assignment, "issue_width", 8)
+        rob_entries = self._get(assignment, "rob_entries", 256)
+        benchmark = assignment["benchmark"]
+
+        if kind == SCHEME_CONVENTIONAL:
+            # One monolithic queue per side with the *same total capacity*
+            # as the sampled multi-queue geometry, so conventional and
+            # FIFO points of one assignment neighbourhood are storage-
+            # equivalent and the comparison isolates the organization.
+            scheme = IssueSchemeConfig(
+                kind=kind,
+                int_queue_entries=int_queues * int_entries,
+                fp_queue_entries=fp_queues * fp_entries,
+            )
+        else:
+            if int_queues < 2 or fp_queues < 2:
+                distributed = False  # distributed FUs need multiple queues
+            scheme = IssueSchemeConfig(
+                kind=kind,
+                int_queues=int_queues,
+                int_queue_entries=int_entries,
+                fp_queues=fp_queues,
+                fp_queue_entries=fp_entries,
+                distributed_fus=distributed,
+                max_chains_per_queue=(
+                    max_chains if kind == SCHEME_MIXBUFF else None
+                ),
+            )
+        config = replace(
+            ProcessorConfig(),
+            int_issue_width=issue_width,
+            fp_issue_width=issue_width,
+            rob_entries=rob_entries,
+            scheme=scheme,
+        )
+        config.validate()
+        label = f"{scheme_name(scheme)}_w{issue_width}_rob{rob_entries}@{benchmark}"
+        point_id = hashlib.sha256(
+            f"{config.cache_key()}:{benchmark}".encode("ascii")
+        ).hexdigest()[:12]
+        items = tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
+        return DesignPoint(
+            assignment=items,
+            benchmark=benchmark,
+            config=config,
+            label=label,
+            point_id=point_id,
+        )
+
+    def expand(self, assignments: Iterable[Mapping[str, Any]]) -> List[DesignPoint]:
+        """Unique, valid points for ``assignments`` (first-seen order)."""
+        points: List[DesignPoint] = []
+        seen = set()
+        for assignment in assignments:
+            try:
+                point = self.build_point(assignment)
+            except ConfigurationError:
+                continue  # unrepairable corner of the grid
+            if point.point_id not in seen:
+                seen.add(point.point_id)
+                points.append(point)
+        return points
+
+    # -- sampling ------------------------------------------------------
+    def grid_assignments(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The Cartesian grid, evenly strided down to ``limit`` entries."""
+        total = len(self)
+        product = itertools.product(*(d.values for d in self.dimensions))
+        names = [d.name for d in self.dimensions]
+        if limit is None or limit >= total:
+            return [dict(zip(names, combo)) for combo in product]
+        if limit <= 0:
+            return []
+        wanted = {i * total // limit for i in range(limit)}
+        return [
+            dict(zip(names, combo))
+            for i, combo in enumerate(product)
+            if i in wanted
+        ]
+
+    def random_assignments(self, n: int, seed: int) -> List[Dict[str, Any]]:
+        """``n`` independent uniform draws (deterministic in ``seed``)."""
+        rng = make_rng(seed, "explore.space.random")
+        return [
+            {d.name: d.sample(rng) for d in self.dimensions} for _ in range(n)
+        ]
+
+    def sample(self, strategy: str, n: int, seed: int) -> List[Dict[str, Any]]:
+        """Sample ``n`` assignments: ``grid``, ``random`` or ``mixed``.
+
+        ``mixed`` takes half from an even stride of the grid (structured
+        coverage of the corners) and half at random (unbiased interior
+        coverage).
+        """
+        if strategy == "grid":
+            return self.grid_assignments(n)
+        if strategy == "random":
+            return self.random_assignments(n, seed)
+        if strategy == "mixed":
+            half = n // 2
+            return self.grid_assignments(half) + self.random_assignments(
+                n - half, seed
+            )
+        raise ConfigurationError(
+            f"unknown sampling strategy {strategy!r}; valid: grid, random, mixed"
+        )
+
+    # -- refinement ----------------------------------------------------
+    def neighborhood(
+        self, assignment: Mapping[str, Any], limit: int, rng
+    ) -> List[Dict[str, Any]]:
+        """Single-dimension perturbations of ``assignment``.
+
+        Every (dimension, neighbour-value) variant is generated, then the
+        list is deterministically shuffled with ``rng`` and truncated to
+        ``limit`` — so refinement pressure spreads across dimensions
+        instead of always mutating the first ones.
+        """
+        variants: List[Dict[str, Any]] = []
+        for dim in self.dimensions:
+            if dim.name not in assignment:
+                continue
+            for value in dim.neighbors(assignment[dim.name]):
+                variant = dict(assignment)
+                variant[dim.name] = value
+                variants.append(variant)
+        rng.shuffle(variants)
+        return variants[:limit] if limit else variants
+
+
+def default_space(benchmarks: Sequence[str]) -> DesignSpace:
+    """The standard exploration space over the paper's design axes.
+
+    Scheme kind and geometry span (and exceed) the Section 3/4 sweeps;
+    issue width and ROB size probe the processor context; ``benchmarks``
+    provides the workload axis.
+    """
+    if not benchmarks:
+        raise ConfigurationError("default_space needs at least one benchmark")
+    return DesignSpace(
+        [
+            Dimension(
+                "kind",
+                ("conventional", "issuefifo", "latfifo", "mixbuff"),
+                ordinal=False,
+            ),
+            Dimension("int_queues", (4, 8, 12, 16)),
+            Dimension("int_entries", (4, 8, 16)),
+            Dimension("fp_queues", (4, 8, 12, 16)),
+            Dimension("fp_entries", (8, 16)),
+            Dimension("distributed_fus", (False, True), ordinal=False),
+            Dimension("max_chains", (None, 4, 8), ordinal=False),
+            Dimension("issue_width", (4, 8)),
+            Dimension("rob_entries", (128, 256)),
+            Dimension("benchmark", tuple(benchmarks), ordinal=False),
+        ]
+    )

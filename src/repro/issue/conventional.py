@@ -15,10 +15,11 @@ bounded ``IQ_64_64``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.common.config import ProcessorConfig
 from repro.common.stats import StatCounters
+from repro.core.scoreboard import NEVER
 from repro.core.uop import InFlight
 from repro.issue.base import IssueContext, IssueScheme
 
@@ -35,9 +36,26 @@ class ConventionalIssueQueue(IssueScheme):
     diagnostics of its own (empty ``idle_counters``); the per-cycle
     ``iq_select_cycles`` energy accrual is captured by the kernel's
     measured-delta interval accounting.
+
+    Ready-bound short-circuit: the full-queue selection scan is skipped
+    while it provably cannot issue anything. Each side caches the
+    earliest cycle at which *any* resident entry could have all issue
+    operands ready; the bound stays exact until the queue's membership
+    or the scoreboard's readiness state changes (tracked by revision
+    counters), so cycles before the bound take an O(1) check instead of
+    an O(entries) scan. A skipped scan is observationally identical to
+    one that issues nothing — ``ctx.issue`` has no side effects on
+    failure and the selection energy accrues either way — which the
+    kernel-equivalence net pins (``_scan_shortcircuit`` toggles the
+    optimization off for the differential run).
     """
 
     name = "conventional"
+
+    #: Class-level kill switch for the ready-bound short-circuit, used by
+    #: the equivalence tests to prove the optimized and plain scans are
+    #: bit-identical.
+    _scan_shortcircuit = True
 
     def __init__(self, config: ProcessorConfig, events: StatCounters) -> None:
         super().__init__(config, events)
@@ -52,34 +70,77 @@ class ConventionalIssueQueue(IssueScheme):
         # only ever append.
         self._int_queue: List[InFlight] = []
         self._fp_queue: List[InFlight] = []
+        # Ready-bound cache per side: (scoreboard version, queue revision,
+        # earliest possible all-operands-ready cycle). The revision bumps
+        # on every membership change (append/pop).
+        self._queue_rev = [0, 0]
+        self._ready_bound: List[Optional[tuple]] = [None, None]
 
     # -- dispatch ----------------------------------------------------
     def try_dispatch(self, uop: InFlight, cycle: int) -> bool:
+        side = 1 if uop.op.is_fp else 0
         queue, capacity = (
             (self._fp_queue, self._fp_capacity)
-            if uop.op.is_fp
+            if side
             else (self._int_queue, self._int_capacity)
         )
         if len(queue) >= capacity:
             return False
         queue.append(uop)
+        self._queue_rev[side] += 1
         self.events.add("iq_buff_write")
         return True
 
     # -- issue -------------------------------------------------------
+    def _scan_may_issue(self, side: int, queue: List[InFlight], cycle: int) -> bool:
+        """False only if no resident entry can pass ``operands_ready``.
+
+        The cached bound is the minimum over entries of the cycle at
+        which all issue operands become available (``NEVER`` while any
+        producer is unissued). Readiness cycles only move via the
+        scoreboard, and membership only via this scheme, so a version/
+        revision match proves the bound still holds.
+        """
+        scoreboard = self._scoreboard
+        cached = self._ready_bound[side]
+        version, rev = scoreboard.version, self._queue_rev[side]
+        if cached is not None and cached[0] == version and cached[1] == rev:
+            bound = cached[2]
+        else:
+            bound = NEVER
+            ready_cycle = scoreboard.ready_cycle
+            for uop in queue:
+                latest = 0
+                for phys in uop.issue_srcs:
+                    r = ready_cycle(phys)
+                    if r > latest:
+                        latest = r
+                if latest < bound:
+                    bound = latest
+                    if bound == 0:
+                        break
+            self._ready_bound[side] = (version, rev, bound)
+        return bound <= cycle
+
     def select_and_issue(self, ctx: IssueContext) -> List[InFlight]:
         issued: List[InFlight] = []
-        for queue in (self._int_queue, self._fp_queue):
+        for side, queue in enumerate((self._int_queue, self._fp_queue)):
             if not queue:
                 continue
             self.events.add("iq_select_cycles")
+            if self._scan_shortcircuit and not self._scan_may_issue(
+                side, queue, ctx.cycle
+            ):
+                continue
             taken_indices: List[int] = []
             for i, uop in enumerate(queue):
                 if ctx.issue(uop):
                     taken_indices.append(i)
                     issued.append(uop)
-            for i in reversed(taken_indices):
-                queue.pop(i)
+            if taken_indices:
+                for i in reversed(taken_indices):
+                    queue.pop(i)
+                self._queue_rev[side] += 1
             self.events.add("iq_buff_read", len(taken_indices))
         return issued
 

@@ -15,10 +15,12 @@ from repro.workloads.profiles import (
 from repro.workloads.suites import (
     FP_BENCHMARKS,
     INT_BENCHMARKS,
+    STRESS_BENCHMARKS,
     all_profiles,
     get_profile,
     specfp2000,
     specint2000,
+    stress_suite,
 )
 from repro.workloads.prewarm import clear_prewarm_cache, prewarm
 from repro.workloads.spill import load_trace, materialize_trace, trace_spill_path
@@ -30,11 +32,13 @@ __all__ = [
     "INT_BENCHMARKS",
     "MemoryBehavior",
     "OperationMix",
+    "STRESS_BENCHMARKS",
     "StaticInstruction",
     "StaticProgram",
     "Trace",
     "WorkloadProfile",
     "all_profiles",
+    "stress_suite",
     "build_static_program",
     "clear_prewarm_cache",
     "generate_trace",

@@ -34,8 +34,10 @@ from repro.workloads.profiles import (
 __all__ = [
     "INT_BENCHMARKS",
     "FP_BENCHMARKS",
+    "STRESS_BENCHMARKS",
     "specint2000",
     "specfp2000",
+    "stress_suite",
     "get_profile",
     "all_profiles",
 ]
@@ -397,10 +399,85 @@ _FP_PROFILES: List[WorkloadProfile] = [
     ),
 ]
 
+# ---------------------------------------------------------------------------
+# Stress scenarios: behaviours the paper's SPEC2000 stand-ins do not
+# cover, used by the exploration subsystem (repro.explore) to probe the
+# corners of the scheme/geometry trade-off space.
+# ---------------------------------------------------------------------------
+
+_STRESS_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile(
+        name="ptrchase",
+        suite="int",
+        num_chains=2,
+        chain_segment_ops=12,
+        mix=_int_mix(load=0.34, store=0.06, branch=0.12),
+        memory=_int_memory(4096, 0.75, 2048),
+        branches=BranchBehavior(hard_branch_fraction=0.18, bias=0.90),
+        loop_body_size=48,
+        load_feeds_chain_fraction=0.95,
+        loop_carried_fraction=0.9,
+        description="stress: serial pointer chasing — two long loop-carried "
+        "chains, almost every load feeds a chain, multi-MB random region; "
+        "worst case for latency estimates and a best case for cycle skipping",
+    ),
+    WorkloadProfile(
+        name="branchstorm",
+        suite="int",
+        num_chains=6,
+        chain_segment_ops=3,
+        mix=_int_mix(load=0.18, store=0.06, branch=0.30),
+        memory=_int_memory(32, 0.05, 32),
+        branches=BranchBehavior(
+            hard_branch_fraction=0.45, periodic_fraction=0.2, bias=0.85
+        ),
+        loop_body_size=64,
+        code_footprint_loops=4,
+        description="stress: branch-hostile — nearly one branch in three, "
+        "half of them data-dependent; exercises mapping-table clears and "
+        "front-end redirects far beyond any SPECint stand-in",
+    ),
+    WorkloadProfile(
+        name="streampump",
+        suite="fp",
+        num_chains=24,
+        chain_segment_ops=4,
+        mix=_fp_mix(load=0.34, store=0.12, branch=0.02, fp_alu=0.30, fp_mul=0.16),
+        memory=_fp_memory(2048, 0.05, 128, stride=32),
+        branches=BranchBehavior(hard_branch_fraction=0.01, bias=0.99),
+        loop_body_size=256,
+        loop_carried_fraction=0.2,
+        description="stress: pure streaming — widest DDG in the repo with "
+        "very short chain segments, so fresh chains are born faster than "
+        "any FIFO count the paper studies can absorb",
+    ),
+    WorkloadProfile(
+        name="phasemix",
+        suite="fp",
+        num_chains=12,
+        chain_segment_ops=6,
+        mix=_fp_mix(
+            load=0.28, store=0.08, branch=0.10, fp_alu=0.20, fp_mul=0.14, fp_div=0.01
+        ),
+        memory=_fp_memory(1024, 0.35, 512),
+        branches=BranchBehavior(
+            hard_branch_fraction=0.12, periodic_fraction=0.4, bias=0.90
+        ),
+        loop_body_size=160,
+        code_footprint_loops=6,
+        description="stress: phase-mixed — alternating loop bodies across a "
+        "large code footprint blend compute-bound and memory-bound phases "
+        "with branchy FP control, the regime where no single geometry wins",
+    ),
+]
+
 INT_BENCHMARKS: List[str] = [p.name for p in _INT_PROFILES]
 FP_BENCHMARKS: List[str] = [p.name for p in _FP_PROFILES]
+STRESS_BENCHMARKS: List[str] = [p.name for p in _STRESS_PROFILES]
 
-_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in _INT_PROFILES + _FP_PROFILES}
+_BY_NAME: Dict[str, WorkloadProfile] = {
+    p.name: p for p in _INT_PROFILES + _FP_PROFILES + _STRESS_PROFILES
+}
 
 
 def specint2000() -> List[WorkloadProfile]:
@@ -413,9 +490,14 @@ def specfp2000() -> List[WorkloadProfile]:
     return list(_FP_PROFILES)
 
 
+def stress_suite() -> List[WorkloadProfile]:
+    """The exploration stress scenarios (not part of the paper's suites)."""
+    return list(_STRESS_PROFILES)
+
+
 def all_profiles() -> List[WorkloadProfile]:
-    """All 26 profiles, integer suite first."""
-    return _INT_PROFILES + _FP_PROFILES
+    """Every profile: the 26 SPEC2000 stand-ins, then the stress suite."""
+    return _INT_PROFILES + _FP_PROFILES + _STRESS_PROFILES
 
 
 def get_profile(name: str) -> WorkloadProfile:

@@ -1,9 +1,18 @@
 """Tests for the batch campaign entry point."""
 
+import csv
+import json
+
 import pytest
 
 from repro.experiments import figures as fig_mod
-from repro.experiments.campaign import ALL_FIGURES, main, run_campaign
+from repro.experiments.campaign import (
+    ALL_FIGURES,
+    export_campaign,
+    figure_rows,
+    main,
+    run_campaign,
+)
 from repro.experiments.runner import ExperimentRunner, RunScale
 
 
@@ -59,6 +68,56 @@ class TestCliFilters:
         out = capsys.readouterr().out
         assert "kernel [naive]" in out
         assert "0 skipped" in out
+
+
+class TestOutputExport:
+    def test_figure_rows_shapes(self):
+        series = figure_rows(2, {"IF_8x8": 12.5})
+        assert series == [{"figure": 2, "title": "% IPC loss, IssueFIFO, SPECINT",
+                           "series": "IF_8x8", "value": 12.5}]
+        table = figure_rows(7, {"IQ_64_64": {"gzip": 1.5}})
+        assert table[0]["column"] == "IQ_64_64" and table[0]["row"] == "gzip"
+        breakdown = figure_rows(9, {"SPECINT": {"wakeup": 0.4}})
+        assert breakdown[0]["suite"] == "SPECINT"
+        assert breakdown[0]["component"] == "wakeup"
+
+    def test_export_json_keeps_figure_shapes(self, small, tmp_path):
+        run_campaign(small, [2])
+        before = small.cache_stats()["simulations"]
+        path = tmp_path / "campaign.json"
+        export_campaign(small, [2], "json", str(path))
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"figure_2"}
+        assert "IssueFIFO_8x8_16x16" in payload["figure_2"]["data"]
+        # The export replays the warm cache: no new simulations.
+        assert small.cache_stats()["simulations"] == before
+
+    def test_export_csv_flattens_rows(self, small, tmp_path):
+        run_campaign(small, [7])
+        path = tmp_path / "campaign.csv"
+        export_campaign(small, [7], "csv", str(path))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert {row["column"] for row in rows} == {"IQ_64_64", "IF_distr", "MB_distr"}
+        assert any(row["row"] == "HARMEAN" for row in rows)
+
+    def test_cli_output_flag_writes_artifact(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        out = tmp_path / "figs.json"
+        main(["--scale", "1000", "--figures", "2", "--cache-dir",
+              str(tmp_path / "cache"), "--output", "json",
+              "--output-path", str(out)])
+        assert "exported 1 figures" in capsys.readouterr().out
+        assert json.loads(out.read_text())["figure_2"]["data"]
+
+    def test_output_path_requires_output(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--output-path", str(tmp_path / "x.json")])
+
+    def test_output_incompatible_with_warm_only_sweep(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--figures", "2", "--schemes", "IQ_unbounded",
+                  "--cache-dir", str(tmp_path), "--output", "json"])
 
 
 class TestRequiredRuns:

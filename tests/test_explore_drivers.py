@@ -1,0 +1,163 @@
+"""End-to-end tests for the exploration drivers, artifacts and CLI."""
+
+import csv
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.store import ResultStore
+from repro.explore.__main__ import main as explore_main
+from repro.explore.drivers import (
+    DEFAULT_EXPLORE_BENCHMARKS,
+    ExplorationSettings,
+    resolve_benchmarks,
+    run_exploration,
+    write_artifacts,
+)
+from repro.explore.objectives import OBJECTIVES
+from repro.workloads.suites import STRESS_BENCHMARKS
+
+
+SMALL = ExplorationSettings(
+    samples=6,
+    rounds=1,
+    seed=11,
+    strategy="mixed",
+    benchmarks=("gzip", "streampump"),
+    neighbors_per_point=2,
+    num_instructions=1000,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # One shared in-memory exploration for the read-only assertions.
+    return run_exploration(SMALL, store=False)
+
+
+class TestResolveBenchmarks:
+    def test_named_groups(self):
+        assert resolve_benchmarks("stress") == tuple(STRESS_BENCHMARKS)
+        assert resolve_benchmarks("mini") == DEFAULT_EXPLORE_BENCHMARKS
+        assert "swim" in resolve_benchmarks("fp")
+
+    def test_comma_list(self):
+        assert resolve_benchmarks("gzip, mcf") == ("gzip", "mcf")
+
+    def test_unknown_name_rejected(self):
+        from repro.common.errors import UnknownBenchmarkError
+
+        with pytest.raises(UnknownBenchmarkError):
+            resolve_benchmarks("gzip,doom")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_benchmarks(" , ")
+
+
+class TestRunExploration:
+    def test_scores_cover_objectives_and_frontier_nonempty(self, result):
+        assert result.scores
+        assert result.frontier
+        for score in result.scores:
+            assert set(score.objectives) == set(OBJECTIVES)
+
+    def test_every_pair_front_nonempty(self, result):
+        assert len(result.pair_fronts) == len(OBJECTIVES) * (len(OBJECTIVES) - 1) // 2
+        for front in result.pair_fronts.values():
+            assert len(front) >= 1
+
+    def test_frontier_points_are_mutually_nondominated(self, result):
+        from repro.explore.pareto import dominates
+
+        for a in result.frontier:
+            for b in result.frontier:
+                assert not dominates(a.objectives, b.objectives, OBJECTIVES)
+
+    def test_refinement_log_matches_rounds(self, result):
+        assert len(result.rounds_log) == SMALL.rounds
+
+    def test_deterministic_for_fixed_seed(self, result):
+        again = run_exploration(SMALL, store=False)
+        assert [s.point.point_id for s in again.scores] == [
+            s.point.point_id for s in result.scores
+        ]
+        assert again.scores[0].objectives == result.scores[0].objectives
+
+    def test_settings_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExplorationSettings(samples=0).validate()
+        with pytest.raises(ConfigurationError):
+            ExplorationSettings(rounds=-1).validate()
+        with pytest.raises(ConfigurationError):
+            ExplorationSettings(benchmarks=()).validate()
+
+
+class TestWarmCache:
+    def test_second_run_resolves_everything_from_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_exploration(SMALL, store=store)
+        assert cold.cache_stats["simulations"] > 0
+        warm = run_exploration(SMALL, store=ResultStore(tmp_path))
+        assert warm.cache_stats["simulations"] == 0
+        assert [s.point.point_id for s in warm.scores] == [
+            s.point.point_id for s in cold.scores
+        ]
+        # Bit-identical objectives: cached stats replay exactly.
+        for a, b in zip(cold.scores, warm.scores):
+            assert a.objectives == b.objectives
+
+
+class TestArtifacts:
+    def test_json_artifact_shape(self, result, tmp_path):
+        paths = write_artifacts(result, tmp_path)
+        payload = json.loads(paths["json"].read_text())
+        assert payload["subsystem"] == "repro.explore"
+        assert payload["settings"]["seed"] == SMALL.seed
+        assert len(payload["points"]) == len(result.scores)
+        assert payload["frontier"]
+        for front in payload["pair_fronts"].values():
+            assert len(front) >= 1
+        point_ids = {row["point_id"] for row in payload["points"]}
+        assert set(payload["frontier"]) <= point_ids
+
+    def test_csv_artifact_rows(self, result, tmp_path):
+        paths = write_artifacts(result, tmp_path)
+        with open(paths["csv"], newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(result.scores)
+        assert "ipc_loss_pct" in rows[0]
+        assert {row["on_frontier"] for row in rows} <= {"True", "False"}
+
+    def test_report_renders_frontier(self, result):
+        text = result.report()
+        assert "Pareto frontier" in text
+        assert "Non-dominated points per objective pair" in text
+        assert result.frontier[0].point.label in text
+
+
+class TestCli:
+    def test_cli_end_to_end_and_warm_rerun(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        args = ["--samples", "4", "--rounds", "1", "--seed", "11",
+                "--scale", "1000", "--benchmarks", "gzip",
+                "--out", str(out), "--cache-dir", str(tmp_path / "cache")]
+        explore_main(args)
+        cold = capsys.readouterr().out
+        assert "Pareto frontier" in cold
+        assert (out / "frontier.json").exists()
+        assert (out / "points.csv").exists()
+        first = (out / "frontier.json").read_bytes()
+        explore_main(args)
+        warm = capsys.readouterr().out
+        assert "0 executions" in warm
+        assert (out / "frontier.json").read_bytes() == first
+
+    def test_cli_rejects_unknown_benchmark(self, tmp_path):
+        with pytest.raises(SystemExit):
+            explore_main(["--benchmarks", "doom", "--out", str(tmp_path)])
+
+    def test_cli_rejects_bad_scale(self, tmp_path):
+        with pytest.raises(SystemExit):
+            explore_main(["--scale", "100", "--out", str(tmp_path)])

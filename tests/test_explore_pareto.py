@@ -1,0 +1,121 @@
+"""Tests for Pareto dominance, frontier extraction and refinement."""
+
+from repro.explore.pareto import dominates, pair_fronts, pareto_front, refine
+from repro.explore.objectives import PointScore
+from repro.explore.space import default_space
+
+
+def fake_score(space, objectives, benchmark="gzip", **assignment):
+    base = {
+        "kind": "issuefifo",
+        "int_queues": 8,
+        "int_entries": 8,
+        "fp_queues": 8,
+        "fp_entries": 16,
+        "distributed_fus": False,
+        "max_chains": None,
+        "issue_width": 8,
+        "rob_entries": 256,
+        "benchmark": benchmark,
+    }
+    base.update(assignment)
+    point = space.build_point(base)
+    return PointScore(point=point, ipc=1.0, baseline_ipc=1.0, objectives=objectives)
+
+
+KEYS = ("a", "b")
+
+
+class TestDominance:
+    def test_strictly_better_on_one_axis_dominates(self):
+        assert dominates({"a": 1, "b": 2}, {"a": 1, "b": 3}, KEYS)
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates({"a": 1, "b": 2}, {"a": 1, "b": 2}, KEYS)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not dominates({"a": 0, "b": 3}, {"a": 1, "b": 2}, KEYS)
+        assert not dominates({"a": 1, "b": 2}, {"a": 0, "b": 3}, KEYS)
+
+
+class TestFrontier:
+    def test_front_keeps_tradeoffs_drops_dominated(self):
+        space = default_space(["gzip"])
+        good_a = fake_score(space, {"a": 0.0, "b": 3.0}, int_queues=4)
+        good_b = fake_score(space, {"a": 3.0, "b": 0.0}, int_queues=8)
+        dominated = fake_score(space, {"a": 4.0, "b": 4.0}, int_queues=12)
+        front = pareto_front([good_a, dominated, good_b], KEYS)
+        assert front == [good_a, good_b]
+
+    def test_duplicate_vectors_are_all_kept(self):
+        space = default_space(["gzip"])
+        twin_a = fake_score(space, {"a": 1.0, "b": 1.0}, int_queues=4)
+        twin_b = fake_score(space, {"a": 1.0, "b": 1.0}, int_queues=8)
+        assert pareto_front([twin_a, twin_b], KEYS) == [twin_a, twin_b]
+
+    def test_empty_input_gives_empty_front(self):
+        assert pareto_front([], KEYS) == []
+
+    def test_pair_fronts_cover_every_pair_nonempty(self):
+        space = default_space(["gzip"])
+        keys = ("a", "b", "c")
+        scores = [
+            fake_score(space, {"a": 0.0, "b": 2.0, "c": 1.0}, int_queues=4),
+            fake_score(space, {"a": 2.0, "b": 0.0, "c": 2.0}, int_queues=8),
+        ]
+        fronts = pair_fronts(scores, keys)
+        assert set(fronts) == {"a|b", "a|c", "b|c"}
+        assert all(front for front in fronts.values())
+
+
+class TestRefine:
+    def test_refinement_only_submits_fresh_points(self):
+        space = default_space(["gzip"])
+        seen = set()
+
+        def evaluate(points):
+            for point in points:
+                assert point.point_id not in seen, "re-submitted a known point"
+                seen.add(point.point_id)
+            return [
+                PointScore(
+                    point=point,
+                    ipc=1.0,
+                    baseline_ipc=1.0,
+                    objectives={k: 1.0 for k in KEYS},
+                )
+                for point in points
+            ]
+
+        initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
+        seen.add(initial[0].point.point_id)
+        scores, log = refine(space, evaluate, initial, rounds=2,
+                             per_point=3, seed=5, keys=KEYS)
+        assert len(log) == 2
+        assert log[0]["evaluated"] > 0
+        assert len(scores) == log[-1]["total_points"]
+
+    def test_zero_rounds_is_identity(self):
+        space = default_space(["gzip"])
+        initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
+        scores, log = refine(space, lambda pts: [], initial, rounds=0,
+                             per_point=3, seed=5, keys=KEYS)
+        assert scores == initial
+        assert log == []
+
+    def test_refinement_is_deterministic_in_seed(self):
+        space = default_space(["gzip"])
+
+        def evaluate(points):
+            return [
+                PointScore(point=p, ipc=1.0, baseline_ipc=1.0,
+                           objectives={k: 2.0 for k in KEYS})
+                for p in points
+            ]
+
+        initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
+        first, _ = refine(space, evaluate, initial, 1, 3, seed=9, keys=KEYS)
+        second, _ = refine(space, evaluate, initial, 1, 3, seed=9, keys=KEYS)
+        assert [s.point.point_id for s in first] == [
+            s.point.point_id for s in second
+        ]

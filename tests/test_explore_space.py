@@ -1,0 +1,160 @@
+"""Tests for the declarative design space and its sampling."""
+
+import pytest
+
+from repro.common.config import ProcessorConfig, scheme_name
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.explore.space import DesignSpace, Dimension, default_space
+
+
+def tiny_space(benchmarks=("gzip",)):
+    return DesignSpace(
+        [
+            Dimension("kind", ("conventional", "issuefifo"), ordinal=False),
+            Dimension("int_queues", (4, 8)),
+            Dimension("int_entries", (4, 8)),
+            Dimension("fp_queues", (4, 8)),
+            Dimension("fp_entries", (8, 16)),
+            Dimension("benchmark", tuple(benchmarks), ordinal=False),
+        ]
+    )
+
+
+class TestDimension:
+    def test_rejects_empty_and_duplicate_values(self):
+        with pytest.raises(ConfigurationError):
+            Dimension("x", ())
+        with pytest.raises(ConfigurationError):
+            Dimension("x", (1, 1))
+
+    def test_ordinal_neighbors_are_adjacent(self):
+        dim = Dimension("x", (4, 8, 12, 16))
+        assert dim.neighbors(8) == (4, 12)
+        assert dim.neighbors(4) == (8,)
+        assert dim.neighbors(16) == (12,)
+
+    def test_categorical_neighbors_are_all_others(self):
+        dim = Dimension("k", ("a", "b", "c"), ordinal=False)
+        assert set(dim.neighbors("b")) == {"a", "c"}
+
+    def test_repaired_value_outside_domain_has_no_neighbors(self):
+        assert Dimension("x", (4, 8)).neighbors(64) == ()
+
+    def test_sample_is_deterministic_in_seed(self):
+        dim = Dimension("x", tuple(range(50)))
+        a = [dim.sample(make_rng(7, "s")) for _ in range(5)]
+        b = [dim.sample(make_rng(7, "s")) for _ in range(5)]
+        assert a == b
+
+
+class TestDesignSpace:
+    def test_requires_benchmark_dimension(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace([Dimension("kind", ("conventional",), ordinal=False)])
+
+    def test_rejects_unknown_dimension(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace(
+                [
+                    Dimension("warp_factor", (1, 2)),
+                    Dimension("benchmark", ("gzip",), ordinal=False),
+                ]
+            )
+
+    def test_grid_size_is_product_of_domains(self):
+        assert len(tiny_space()) == 2 * 2 * 2 * 2 * 2 * 1
+
+    def test_build_point_produces_valid_config(self):
+        space = tiny_space()
+        point = space.build_point(
+            {
+                "kind": "issuefifo",
+                "int_queues": 8,
+                "int_entries": 4,
+                "fp_queues": 4,
+                "fp_entries": 16,
+                "benchmark": "gzip",
+            }
+        )
+        assert isinstance(point.config, ProcessorConfig)
+        point.config.validate()
+        assert point.config.scheme.int_queues == 8
+        assert point.benchmark == "gzip"
+        assert scheme_name(point.config.scheme) in point.label
+
+    def test_conventional_repair_merges_queue_capacity(self):
+        space = tiny_space()
+        point = space.build_point(
+            {
+                "kind": "conventional",
+                "int_queues": 8,
+                "int_entries": 4,
+                "fp_queues": 4,
+                "fp_entries": 16,
+                "benchmark": "gzip",
+            }
+        )
+        scheme = point.config.scheme
+        assert scheme.int_queues == 1 and scheme.fp_queues == 1
+        assert scheme.int_queue_entries == 32  # 8 queues x 4 entries
+        assert scheme.fp_queue_entries == 64
+        assert not scheme.distributed_fus
+
+    def test_max_chains_only_survives_for_mixbuff(self):
+        space = default_space(["gzip"])
+        assignment = {
+            "kind": "issuefifo",
+            "int_queues": 8,
+            "int_entries": 8,
+            "fp_queues": 8,
+            "fp_entries": 16,
+            "distributed_fus": False,
+            "max_chains": 8,
+            "issue_width": 8,
+            "rob_entries": 256,
+            "benchmark": "gzip",
+        }
+        assert space.build_point(assignment).config.scheme.max_chains_per_queue is None
+        assignment["kind"] = "mixbuff"
+        assert space.build_point(assignment).config.scheme.max_chains_per_queue == 8
+
+    def test_expand_dedupes_by_point_id(self):
+        space = tiny_space()
+        # Two conventional assignments with the same total capacity repair
+        # to the same machine and must collapse.
+        a = {"kind": "conventional", "int_queues": 8, "int_entries": 4,
+             "fp_queues": 4, "fp_entries": 16, "benchmark": "gzip"}
+        b = {"kind": "conventional", "int_queues": 4, "int_entries": 8,
+             "fp_queues": 8, "fp_entries": 8, "benchmark": "gzip"}
+        assert len(space.expand([a, b, a])) == 1
+
+    def test_grid_stride_is_even_and_bounded(self):
+        space = tiny_space()
+        assignments = space.grid_assignments(5)
+        assert len(assignments) == 5
+        full = space.grid_assignments()
+        assert assignments[0] == full[0]
+
+    def test_sampling_is_deterministic_per_seed(self):
+        space = tiny_space()
+        assert space.sample("mixed", 8, 11) == space.sample("mixed", 8, 11)
+        assert space.sample("random", 8, 11) != space.sample("random", 8, 12)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_space().sample("annealing", 4, 1)
+
+    def test_neighborhood_perturbs_one_dimension_at_a_time(self):
+        space = tiny_space()
+        base = {"kind": "issuefifo", "int_queues": 4, "int_entries": 4,
+                "fp_queues": 4, "fp_entries": 8, "benchmark": "gzip"}
+        for variant in space.neighborhood(base, 0, make_rng(3, "n")):
+            diffs = [k for k in base if variant[k] != base[k]]
+            assert len(diffs) == 1
+
+    def test_default_space_covers_all_kinds(self):
+        space = default_space(["gzip", "swim"])
+        kinds = dict((d.name, d) for d in space.dimensions)["kind"].values
+        assert set(kinds) == {"conventional", "issuefifo", "latfifo", "mixbuff"}
+        assert len(space.expand(space.sample("random", 16, 3))) > 0

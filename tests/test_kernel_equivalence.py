@@ -78,6 +78,35 @@ class TestKernelEquivalence:
         assert results[KERNEL_NAIVE] == results[KERNEL_SKIP]
 
 
+class TestReadyBoundShortCircuit:
+    """The conventional scheme's ready-bound scan skip is bit-identical.
+
+    The optimization elides the full-queue selection scan on cycles where
+    the cached ready bound proves nothing can issue; disabling it must
+    not change a single statistic under either kernel.
+    """
+
+    @pytest.mark.parametrize("kernel", (KERNEL_NAIVE, KERNEL_SKIP))
+    @pytest.mark.parametrize("bench,length,seed", RUN_MATRIX)
+    def test_shortcircuit_matches_plain_scan(self, monkeypatch, kernel,
+                                             bench, length, seed):
+        from repro.issue.conventional import ConventionalIssueQueue
+
+        optimized, __ = _run(bench, length, seed, IQ_64_64, kernel)
+        monkeypatch.setattr(ConventionalIssueQueue, "_scan_shortcircuit", False)
+        plain, __ = _run(bench, length, seed, IQ_64_64, kernel)
+        assert optimized.to_dict() == plain.to_dict()
+
+    def test_unbounded_baseline_also_identical(self, monkeypatch):
+        from repro.experiments.configs import BASELINE_UNBOUNDED
+        from repro.issue.conventional import ConventionalIssueQueue
+
+        optimized, __ = _run("swim", 1200, 7, BASELINE_UNBOUNDED, KERNEL_SKIP)
+        monkeypatch.setattr(ConventionalIssueQueue, "_scan_shortcircuit", False)
+        plain, __ = _run("swim", 1200, 7, BASELINE_UNBOUNDED, KERNEL_SKIP)
+        assert optimized.to_dict() == plain.to_dict()
+
+
 class TestKernelTelemetry:
     def test_skip_kernel_actually_skips_on_memory_bound_run(self):
         __, processor = _run("mcf", 2000, 11, IQ_64_64, KERNEL_SKIP)

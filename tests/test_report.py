@@ -1,0 +1,89 @@
+"""Tests for the plain-text figure renderers."""
+
+from repro.experiments.report import render_breakdown, render_series, render_table
+
+
+class TestRenderSeries:
+    def test_one_line_per_entry_with_unit(self):
+        text = render_series("T", {"a": 1.0, "bb": -2.5})
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert lines[1].endswith("%")
+        assert "-2.50%" in lines[2]
+
+    def test_labels_aligned_to_widest(self):
+        text = render_series("T", {"x": 1.0, "longer": 2.0})
+        lines = text.splitlines()[1:]
+        # Labels pad to the widest name and values are fixed-width, so
+        # every line ends at the same column.
+        assert len({len(line) for line in lines}) == 1
+        assert lines[0].startswith("  x     ")
+
+    def test_empty_series_renders_title_only(self):
+        assert render_series("Just the title", {}) == "Just the title"
+
+    def test_custom_unit(self):
+        text = render_series("T", {"a": 3.0}, unit=" pts")
+        assert text.splitlines()[1].endswith(" pts")
+
+
+class TestRenderTable:
+    def test_header_row_and_cells(self):
+        table = {"c1": {"r1": 1.5, "r2": 2.0}, "c2": {"r1": 3.0, "r2": 4.0}}
+        lines = render_table("T", table).splitlines()
+        assert lines[0] == "T"
+        assert "c1" in lines[1] and "c2" in lines[1]
+        assert lines[2].lstrip().startswith("r1")
+        assert "1.500" in lines[2] and "3.000" in lines[2]
+
+    def test_sparse_cells_render_blank(self):
+        # r2 exists only in c1: the c2 cell must be blank, not crash.
+        table = {"c1": {"r1": 1.0, "r2": 2.0}, "c2": {"r1": 3.0}}
+        lines = render_table("T", table).splitlines()
+        r2_line = next(line for line in lines if "r2" in line)
+        assert "2.000" in r2_line
+        assert "3.000" not in r2_line
+        assert r2_line.rstrip().endswith("2.000")
+
+    def test_row_union_preserves_first_seen_order(self):
+        table = {"c1": {"r1": 1.0}, "c2": {"r2": 2.0, "r1": 3.0}}
+        lines = render_table("T", table).splitlines()
+        assert lines[2].lstrip().startswith("r1")
+        assert lines[3].lstrip().startswith("r2")
+
+    def test_empty_table_renders_title_and_empty_header(self):
+        lines = render_table("T", {}).splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 2  # header line only, no rows
+
+    def test_custom_value_format(self):
+        table = {"c": {"r": 0.123456}}
+        text = render_table("T", table, value_format="{:7.1f}")
+        assert "0.1" in text
+        assert "0.123" not in text
+
+
+class TestRenderBreakdown:
+    def test_components_sorted_by_descending_fraction(self):
+        breakdown = {"SPECINT": {"small": 0.1, "big": 0.7, "mid": 0.2}}
+        lines = render_breakdown("T", breakdown).splitlines()
+        components = [line.split()[0] for line in lines[2:]]
+        assert components == ["big", "mid", "small"]
+
+    def test_fractions_render_as_percent(self):
+        text = render_breakdown("T", {"S": {"x": 0.255}})
+        assert " 25.5%" in text
+
+    def test_multiple_suites_each_get_a_section(self):
+        text = render_breakdown(
+            "T", {"SPECINT": {"x": 1.0}, "SPECFP": {"y": 1.0}}
+        )
+        assert "SPECINT:" in text and "SPECFP:" in text
+
+    def test_empty_breakdown_renders_title_only(self):
+        assert render_breakdown("T", {}) == "T"
+
+    def test_empty_suite_renders_header_only(self):
+        lines = render_breakdown("T", {"S": {}}).splitlines()
+        assert lines == ["T", "  S:"]

@@ -5,6 +5,8 @@ import pickle
 from repro.experiments.store import SIMULATOR_VERSION_TAG, simulator_sources_digest
 from repro.workloads.generator import generate_trace
 from repro.workloads.spill import (
+    SPILL_FORMAT_VERSION,
+    SPILL_MAGIC,
     load_trace,
     materialize_trace,
     trace_spill_key,
@@ -45,6 +47,43 @@ class TestTraceSpill:
         path = trace_spill_path(tmp_path, profile, 800, 5)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(pickle.dumps(other))
+        assert load_trace(tmp_path, profile, 800, 5) is None
+
+    def test_spill_file_carries_magic_and_version(self, tmp_path):
+        profile = get_profile("gzip")
+        materialize_trace(tmp_path, profile, 800, 5)
+        blob = trace_spill_path(tmp_path, profile, 800, 5).read_bytes()
+        assert blob.startswith(SPILL_MAGIC)
+        header_version = int.from_bytes(
+            blob[len(SPILL_MAGIC) : len(SPILL_MAGIC) + 2], "big"
+        )
+        assert header_version == SPILL_FORMAT_VERSION
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        profile = get_profile("gzip")
+        materialize_trace(tmp_path, profile, 800, 5)
+        path = trace_spill_path(tmp_path, profile, 800, 5)
+        blob = path.read_bytes()
+        stale = (SPILL_FORMAT_VERSION - 1).to_bytes(2, "big")
+        path.write_bytes(SPILL_MAGIC + stale + blob[len(SPILL_MAGIC) + 2 :])
+        assert load_trace(tmp_path, profile, 800, 5) is None
+        # Re-materializing heals the stale file in place.
+        materialize_trace(tmp_path, profile, 800, 5)
+        assert load_trace(tmp_path, profile, 800, 5) is not None
+
+    def test_legacy_pickle_spill_is_a_miss(self, tmp_path):
+        profile = get_profile("gzip")
+        trace = generate_trace(profile, 800, seed=5)
+        path = trace_spill_path(tmp_path, profile, 800, 5)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(trace))  # pre-versioning format
+        assert load_trace(tmp_path, profile, 800, 5) is None
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        profile = get_profile("gzip")
+        materialize_trace(tmp_path, profile, 800, 5)
+        path = trace_spill_path(tmp_path, profile, 800, 5)
+        path.write_bytes(path.read_bytes()[:-20])
         assert load_trace(tmp_path, profile, 800, 5) is None
 
     def test_key_depends_on_all_inputs(self):
