@@ -5,13 +5,18 @@ subsystem *searches* the space instead. A declarative
 :class:`~repro.explore.space.DesignSpace` expands parameter assignments
 into concrete (processor config, workload) points; each point is scored
 on energy/performance objectives (:mod:`repro.explore.objectives`,
-reusing :mod:`repro.energy.metrics`); :mod:`repro.explore.pareto`
-computes non-dominated sets and adaptively refines the frontier; and
-:mod:`repro.explore.drivers` runs everything through the cached,
-parallel :class:`~repro.experiments.runner.ExperimentRunner` stack and
-writes JSON/CSV artifacts (:mod:`repro.explore.artifacts`).
+reusing :mod:`repro.energy.metrics`) — per (config, benchmark) pair, or
+suite-wide via :class:`~repro.explore.objectives.SuiteAggregator` when
+the space declares ``aggregate_benchmarks``; :mod:`repro.explore.pareto`
+computes non-dominated sets and adaptively refines the frontier
+(incremental folding, optional epsilon-dominance thinning and
+crowding-distance selection); and :mod:`repro.explore.drivers` runs
+everything through the cached, parallel
+:class:`~repro.experiments.runner.ExperimentRunner` stack and writes
+JSON/CSV artifacts (:mod:`repro.explore.artifacts`).
 
-Command line: ``python -m repro.explore --samples 32 --rounds 2``.
+Command line: ``python -m repro.explore --samples 32 --rounds 2``
+(suite-aggregated: ``python -m repro.explore --aggregate stress``).
 """
 
 from repro.explore.artifacts import write_csv, write_json
@@ -22,8 +27,21 @@ from repro.explore.drivers import (
     run_exploration,
     write_artifacts,
 )
-from repro.explore.objectives import OBJECTIVES, ObjectiveScorer, PointScore
-from repro.explore.pareto import pair_fronts, pareto_front, refine
+from repro.explore.objectives import (
+    OBJECTIVES,
+    ObjectiveScorer,
+    PointScore,
+    SuiteAggregator,
+)
+from repro.explore.pareto import (
+    crowding_distances,
+    crowding_select,
+    epsilon_front,
+    fold_frontier,
+    pair_fronts,
+    pareto_front,
+    refine,
+)
 from repro.explore.space import DesignPoint, DesignSpace, Dimension, default_space
 
 __all__ = [
@@ -36,7 +54,12 @@ __all__ = [
     "OBJECTIVES",
     "ObjectiveScorer",
     "PointScore",
+    "SuiteAggregator",
+    "crowding_distances",
+    "crowding_select",
     "default_space",
+    "epsilon_front",
+    "fold_frontier",
     "pair_fronts",
     "pareto_front",
     "refine",

@@ -4,6 +4,7 @@ Command line::
 
     python -m repro.explore [--samples N] [--rounds K] [--seed S]
         [--strategy grid|random|mixed] [--benchmarks GROUP|a,b,c]
+        [--aggregate [GROUP|a,b,c]] [--epsilon E] [--frontier-budget N]
         [--scale N] [--workers N] [--kernel naive|skip]
         [--neighbors N] [--out DIR] [--cache-dir DIR] [--no-cache]
 
@@ -12,6 +13,16 @@ point on the paper's energy/performance objectives against the IQ_64_64
 baseline in the same processor context, refines the Pareto frontier for
 ``--rounds`` adaptive rounds, prints a text report, and writes
 ``frontier.json`` + ``points.csv`` under ``--out``.
+
+``--aggregate`` switches to suite-aggregated objectives: the workload
+set (same specs as ``--benchmarks``; bare ``--aggregate`` means
+``mini``) stops being a sampled axis and every design point is scored
+*across the whole suite* — per-benchmark baselines calibrated
+independently, geometric-mean aggregation, per-benchmark sub-scores in
+the artifacts — so the frontier ranks suite-robust geometries, matching
+the paper's cross-SPEC averages. ``--epsilon``/``--frontier-budget``
+enable epsilon-dominance thinning and crowding-distance selection of
+the refinement frontier.
 
 Every simulation resolves through the campaign cache stack, so a second
 invocation with the same seed reports 0 executions: the artifact is
@@ -56,6 +67,21 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="workload axis: mini|stress|int|fp|all or a "
                              "comma-separated list of profile names "
                              "(default mini: stress suite + gzip,mcf,swim)")
+    parser.add_argument("--aggregate", type=str, nargs="?", const="mini",
+                        default=None, metavar="GROUP",
+                        help="suite-aggregated mode: score every design "
+                             "point across this workload set (mini|stress|"
+                             "int|fp|all or a comma list; bare --aggregate "
+                             "= mini) instead of sampling benchmarks as an "
+                             "axis; overrides --benchmarks")
+    parser.add_argument("--epsilon", type=float, default=0.0,
+                        help="epsilon-dominance thinning of the refinement "
+                             "frontier, as a fraction of each objective's "
+                             "frontier range (default 0: disabled)")
+    parser.add_argument("--frontier-budget", type=int, default=None,
+                        help="max frontier points expanded per refinement "
+                             "round, chosen by crowding distance "
+                             "(default: no cap)")
     parser.add_argument("--scale", type=int, default=2000,
                         help="dynamic instructions per run, half warm-up "
                              "(default 2000)")
@@ -79,7 +105,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     args = parser.parse_args(argv)
 
     try:
-        benchmarks = resolve_benchmarks(args.benchmarks)
+        benchmarks = resolve_benchmarks(args.aggregate or args.benchmarks)
     except (ConfigurationError, UnknownBenchmarkError) as exc:
         parser.error(str(exc))
     settings = ExplorationSettings(
@@ -92,6 +118,9 @@ def main(argv: Optional[List[str]] = None) -> None:
         num_instructions=args.scale,
         workers=args.workers,
         kernel=args.kernel,
+        aggregate=args.aggregate is not None,
+        epsilon=args.epsilon,
+        frontier_budget=args.frontier_budget,
     )
     try:
         settings.validate()

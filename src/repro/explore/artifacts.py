@@ -113,12 +113,41 @@ def exploration_payload(result) -> Dict[str, object]:
     }
 
 
+def _display_labels(scores) -> Dict[str, str]:
+    """Unique report label per point, keyed by point id.
+
+    Point labels encode scheme/width/ROB/workload but not every
+    dimension (e.g. distributed FUs), and in aggregate mode the
+    workload suffix is the same suite token for every point — so
+    distinct frontier points can share a label. Colliding labels get a
+    ``#<point_id prefix>`` suffix to keep every table row visible.
+    """
+    counts: Dict[str, int] = {}
+    for score in scores:
+        counts[score.point.label] = counts.get(score.point.label, 0) + 1
+    return {
+        score.point.point_id: (
+            score.point.label
+            if counts[score.point.label] == 1
+            else f"{score.point.label}#{score.point.point_id[:6]}"
+        )
+        for score in scores
+    }
+
+
 def frontier_report(result) -> str:
-    """Text report of the frontier via the figure renderers."""
+    """Text report of the frontier via the figure renderers.
+
+    Suite-aggregated explorations append a per-benchmark IPC-loss
+    breakdown of the frontier points, so robust geometries can be told
+    apart from ones that merely average well.
+    """
     sections = []
+    labels = _display_labels(result.frontier)
     table = {
         name: {
-            score.point.label: score.objectives[name] for score in result.frontier
+            labels[score.point.point_id]: score.objectives[name]
+            for score in result.frontier
         }
         for name in result.objective_names
     }
@@ -129,6 +158,21 @@ def frontier_report(result) -> str:
             table,
         )
     )
+    benchmarks = sorted(
+        {bench for score in result.frontier for bench in (score.per_benchmark or {})}
+    )
+    if benchmarks:
+        breakdown = {
+            bench: {
+                labels[score.point.point_id]: score.per_benchmark[bench]["ipc_loss_pct"]
+                for score in result.frontier
+                if score.per_benchmark and bench in score.per_benchmark
+            }
+            for bench in benchmarks
+        }
+        sections.append(
+            render_table("Per-benchmark IPC loss (%) across the suite", breakdown)
+        )
     pair_sizes = {
         pair: float(len(front)) for pair, front in result.pair_fronts.items()
     }

@@ -24,8 +24,13 @@ from repro.explore.artifacts import (
     write_csv,
     write_json,
 )
-from repro.explore.objectives import OBJECTIVES, ObjectiveScorer, PointScore
-from repro.explore.pareto import pair_fronts, pareto_front, refine
+from repro.explore.objectives import (
+    OBJECTIVES,
+    ObjectiveScorer,
+    PointScore,
+    SuiteAggregator,
+)
+from repro.explore.pareto import pair_fronts, refine
 from repro.explore.space import DesignSpace, default_space
 from repro.workloads.suites import (
     FP_BENCHMARKS,
@@ -72,6 +77,8 @@ def resolve_benchmarks(spec: str) -> Tuple[str, ...]:
     names = tuple(name.strip() for name in spec.split(",") if name.strip())
     if not names:
         raise ConfigurationError(f"empty benchmark spec {spec!r}")
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate benchmark names in spec {spec!r}")
     for name in names:
         get_profile(name)  # raises UnknownBenchmarkError with the known set
     return names
@@ -79,7 +86,17 @@ def resolve_benchmarks(spec: str) -> Tuple[str, ...]:
 
 @dataclass(frozen=True)
 class ExplorationSettings:
-    """Everything that determines an exploration (and its artifact)."""
+    """Everything that determines an exploration (and its artifact).
+
+    ``aggregate`` switches the workload mode: ``False`` (default) makes
+    ``benchmarks`` a sampled axis (one point per (config, benchmark)
+    pair); ``True`` makes it the aggregation *set* every point is
+    scored across via :class:`~repro.explore.objectives.SuiteAggregator`.
+    ``epsilon`` / ``frontier_budget`` tune the refinement loop's
+    epsilon-dominance thinning and crowding-distance selection; their
+    defaults disable both, and :meth:`as_dict` omits defaulted knobs so
+    pre-existing artifacts stay byte-identical.
+    """
 
     samples: int = 32
     rounds: int = 2
@@ -90,6 +107,9 @@ class ExplorationSettings:
     num_instructions: int = 2000
     workers: int = 0
     kernel: Optional[str] = None
+    aggregate: bool = False
+    epsilon: float = 0.0
+    frontier_budget: Optional[int] = None
 
     def validate(self) -> None:
         if self.samples < 1:
@@ -100,6 +120,10 @@ class ExplorationSettings:
             raise ConfigurationError("need at least one neighbor per point")
         if not self.benchmarks:
             raise ConfigurationError("need at least one benchmark")
+        if self.epsilon < 0:
+            raise ConfigurationError("epsilon cannot be negative")
+        if self.frontier_budget is not None and self.frontier_budget < 1:
+            raise ConfigurationError("frontier budget must be at least 1")
 
     def scale(self) -> RunScale:
         return RunScale(
@@ -109,7 +133,7 @@ class ExplorationSettings:
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        settings: Dict[str, object] = {
             "samples": self.samples,
             "rounds": self.rounds,
             "seed": self.seed,
@@ -118,6 +142,13 @@ class ExplorationSettings:
             "neighbors_per_point": self.neighbors_per_point,
             "num_instructions": self.num_instructions,
         }
+        if self.aggregate:
+            settings["aggregate"] = True
+        if self.epsilon > 0:
+            settings["epsilon"] = self.epsilon
+        if self.frontier_budget is not None:
+            settings["frontier_budget"] = self.frontier_budget
+        return settings
 
 
 @dataclass
@@ -145,38 +176,67 @@ def run_exploration(
     """Sample, score and refine; returns the full result.
 
     ``space`` defaults to :func:`~repro.explore.space.default_space`
-    over the settings' benchmarks. ``store`` selects the disk cache
-    exactly as for :class:`ExperimentRunner` (``None`` = honour
-    ``$REPRO_CACHE_DIR``, ``False`` = no disk layer).
+    over the settings' benchmarks (aggregated when ``settings.aggregate``
+    is set). A custom space chooses the scorer: spaces declared with
+    ``aggregate_benchmarks`` score through
+    :class:`~repro.explore.objectives.SuiteAggregator` (one point per
+    design, suite-wide objectives), others per (config, benchmark)
+    pair. ``store`` selects the disk cache exactly as for
+    :class:`ExperimentRunner` (``None`` = honour ``$REPRO_CACHE_DIR``,
+    ``False`` = no disk layer).
     """
     settings.validate()
     if space is None:
-        space = default_space(settings.benchmarks)
+        space = default_space(settings.benchmarks, aggregate=settings.aggregate)
+    elif bool(space.aggregate_benchmarks) != settings.aggregate:
+        # The artifact's settings block must describe how points were
+        # actually scored; a custom space must agree with the flag.
+        raise ConfigurationError(
+            "settings.aggregate must match the space's workload mode: "
+            f"aggregate={settings.aggregate} but the space "
+            f"{'declares' if space.aggregate_benchmarks else 'lacks'} "
+            "aggregate_benchmarks"
+        )
+    elif settings.aggregate and space.aggregate_benchmarks != tuple(
+        settings.benchmarks
+    ):
+        # Same reason: scoring uses the space's suite, so the settings
+        # must name that exact suite (in order).
+        raise ConfigurationError(
+            "settings.benchmarks must match the space's "
+            f"aggregate_benchmarks: {tuple(settings.benchmarks)!r} vs "
+            f"{space.aggregate_benchmarks!r}"
+        )
     runner = ExperimentRunner(
         settings.scale(),
         store=store,
         workers=settings.workers,
         kernel=settings.kernel,
     )
-    scorer = ObjectiveScorer(runner)
+    if space.aggregate_benchmarks:
+        scorer: ObjectiveScorer = SuiteAggregator(runner, space.aggregate_benchmarks)
+    else:
+        scorer = ObjectiveScorer(runner)
     assignments = space.sample(settings.strategy, settings.samples, settings.seed)
     points = space.expand(assignments)
     if not points:
         raise ConfigurationError("exploration sampled no valid points")
     scores = scorer.score_many(points)
-    scores, rounds_log = refine(
+    scores, rounds_log, frontier = refine(
         space,
         scorer.score_many,
         scores,
         rounds=settings.rounds,
         per_point=settings.neighbors_per_point,
         seed=settings.seed,
+        epsilon=settings.epsilon,
+        frontier_budget=settings.frontier_budget,
     )
     return ExplorationResult(
         settings=settings,
         space=space,
         scores=scores,
-        frontier=pareto_front(scores),
+        frontier=frontier,
         pair_fronts=pair_fronts(scores),
         rounds_log=rounds_log,
         cache_stats=runner.cache_stats(),

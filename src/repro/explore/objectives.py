@@ -16,21 +16,30 @@ width, same ROB — so the objectives isolate the issue organization:
 All four objectives are minimized. Simulations resolve through the
 :class:`~repro.experiments.runner.ExperimentRunner` cache stack, so
 re-scoring a point anyone has ever evaluated is free.
+
+Two scorers share that machinery. :class:`ObjectiveScorer` scores one
+(config, benchmark) pair — the per-workload axis mode.
+:class:`SuiteAggregator` scores one design across a declared workload
+*set* the way the paper's Figures 13–15 average across SPEC: every
+benchmark gets its own independently calibrated baseline, the
+normalized ratios are combined by geometric mean, and the per-benchmark
+sub-scores ride along in the :class:`PointScore` for the artifacts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import IssueSchemeConfig, ProcessorConfig
+from repro.common.errors import ConfigurationError
 from repro.energy.metrics import calibrate_rest_of_chip, compute_metrics
 from repro.energy.model import EnergyModel
 from repro.experiments.configs import IQ_64_64
 from repro.experiments.runner import ExperimentRunner
 from repro.explore.space import DesignPoint
 
-__all__ = ["OBJECTIVES", "PointScore", "ObjectiveScorer"]
+__all__ = ["OBJECTIVES", "PointScore", "ObjectiveScorer", "SuiteAggregator"]
 
 #: Objective names, all minimized, in report order.
 OBJECTIVES: Tuple[str, ...] = (
@@ -41,17 +50,36 @@ OBJECTIVES: Tuple[str, ...] = (
 )
 
 
+def _geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, multiplied in input order for float determinism."""
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
 @dataclass(frozen=True)
 class PointScore:
-    """One evaluated point: raw performance plus normalized objectives."""
+    """One evaluated point: raw performance plus normalized objectives.
+
+    ``per_benchmark`` is only populated by :class:`SuiteAggregator`:
+    one sub-score record per benchmark in suite order (ipc, baseline
+    ipc and the four per-benchmark objectives), so artifacts can show
+    which workloads a suite-robust point wins and loses.
+    """
 
     point: DesignPoint
     ipc: float
     baseline_ipc: float
     objectives: Dict[str, float]
+    per_benchmark: Optional[Dict[str, Dict[str, float]]] = None
 
     def as_row(self) -> Dict[str, object]:
-        """Flat record for CSV artifacts and reports."""
+        """Flat record for CSV artifacts and reports.
+
+        Aggregated scores embed their per-benchmark sub-scores as
+        ``<benchmark>.<metric>`` columns; axis-mode rows are unchanged.
+        """
         row: Dict[str, object] = {
             "point_id": self.point.point_id,
             "label": self.point.label,
@@ -62,6 +90,10 @@ class PointScore:
         row["baseline_ipc"] = self.baseline_ipc
         for name in OBJECTIVES:
             row[name] = self.objectives[name]
+        if self.per_benchmark:
+            for benchmark, sub in self.per_benchmark.items():
+                for metric, value in sub.items():
+                    row[f"{benchmark}.{metric}"] = value
         return row
 
 
@@ -98,13 +130,25 @@ class ObjectiveScorer:
                     pairs.append(key)
         return pairs
 
-    def score(self, point: DesignPoint) -> PointScore:
-        """Evaluate one point (hits the warm cache after a prefetch)."""
-        base_config = self.baseline_config(point)
-        base_stats = self.runner.run(point.benchmark, base_config)
-        stats = self.runner.run(point.benchmark, point.config)
+    def _evaluate(
+        self, benchmark: str, config: ProcessorConfig
+    ) -> Tuple[float, float, Dict[str, float]]:
+        """(ipc, baseline ipc, objectives) of ``config`` on ``benchmark``.
+
+        The baseline's rest-of-chip calibration is recomputed here per
+        benchmark, matching the figure machinery.
+        """
+        base_config = replace(config, scheme=self.baseline_scheme)
+        base_stats = self.runner.run(benchmark, base_config)
+        if base_stats.ipc <= 0.0:
+            raise ConfigurationError(
+                f"baseline run on {benchmark!r} committed no instructions "
+                "(IPC 0); the run scale is too small to score against — "
+                "increase num_instructions"
+            )
+        stats = self.runner.run(benchmark, config)
         base_model = EnergyModel(base_config)
-        model = EnergyModel(point.config)
+        model = EnergyModel(config)
         rest = calibrate_rest_of_chip(
             base_model.energy_pj(base_stats.events.as_dict()),
             base_stats.cycles,
@@ -119,10 +163,15 @@ class ObjectiveScorer:
             "energy_delay": normalized["energy_delay"],
             "energy_delay2": normalized["energy_delay2"],
         }
+        return stats.ipc, base_stats.ipc, objectives
+
+    def score(self, point: DesignPoint) -> PointScore:
+        """Evaluate one point (hits the warm cache after a prefetch)."""
+        ipc, baseline_ipc, objectives = self._evaluate(point.benchmark, point.config)
         return PointScore(
             point=point,
-            ipc=stats.ipc,
-            baseline_ipc=base_stats.ipc,
+            ipc=ipc,
+            baseline_ipc=baseline_ipc,
             objectives=objectives,
         )
 
@@ -132,3 +181,83 @@ class ObjectiveScorer:
             return []
         self.runner.prefetch(self.required_pairs(points))
         return [self.score(point) for point in points]
+
+
+class SuiteAggregator(ObjectiveScorer):
+    """Scores one design point across a whole workload suite.
+
+    The paper's Figures 13–15 compare issue organizations on suite
+    averages, not per-program points. This scorer reproduces that: for
+    every benchmark in ``benchmarks`` the point and its same-context
+    baseline are simulated (through the shared runner's cache stack),
+    each benchmark's baseline is calibrated independently, and the
+    suite objectives are
+
+    * ``energy`` / ``energy_delay`` / ``energy_delay2`` — geometric
+      mean of the per-benchmark baseline-normalized ratios, and
+    * ``ipc_loss_pct`` — ``100 · (1 − geomean(IPC ratio))``, i.e. the
+      loss implied by the geometric-mean relative performance (the
+      suite-level analogue of the paper's average slowdown).
+
+    All aggregation runs in fixed suite order, so results are
+    bit-deterministic for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        benchmarks: Sequence[str],
+        baseline_scheme: IssueSchemeConfig = IQ_64_64,
+    ) -> None:
+        super().__init__(runner, baseline_scheme)
+        if not benchmarks:
+            raise ConfigurationError("SuiteAggregator needs at least one benchmark")
+        self.benchmarks: Tuple[str, ...] = tuple(benchmarks)
+
+    def required_pairs(self, points: Sequence[DesignPoint]) -> List[Tuple[str, ProcessorConfig]]:
+        """The full (point × suite) simulation matrix, deduplicated."""
+        pairs: List[Tuple[str, ProcessorConfig]] = []
+        seen = set()
+        for point in points:
+            for config in (self.baseline_config(point), point.config):
+                for benchmark in self.benchmarks:
+                    key = (benchmark, config)
+                    if key not in seen:
+                        seen.add(key)
+                        pairs.append(key)
+        return pairs
+
+    def score(self, point: DesignPoint) -> PointScore:
+        """Evaluate one point across the suite (cache-hot after prefetch)."""
+        per_benchmark: Dict[str, Dict[str, float]] = {}
+        ipc_ratios: List[float] = []
+        ipcs: List[float] = []
+        baseline_ipcs: List[float] = []
+        # ipc_loss_pct is aggregated via the IPC ratios (it can be
+        # negative, so its geomean would be meaningless); only the
+        # ratio-valued energy objectives geomean directly.
+        ratio_objectives = ("energy", "energy_delay", "energy_delay2")
+        ratios: Dict[str, List[float]] = {name: [] for name in ratio_objectives}
+        for benchmark in self.benchmarks:
+            ipc, baseline_ipc, objectives = self._evaluate(benchmark, point.config)
+            sub: Dict[str, float] = {"ipc": ipc, "baseline_ipc": baseline_ipc}
+            sub.update(objectives)
+            per_benchmark[benchmark] = sub
+            ipcs.append(ipc)
+            baseline_ipcs.append(baseline_ipc)
+            ipc_ratios.append(ipc / baseline_ipc)
+            for name in ratio_objectives:
+                ratios[name].append(objectives[name])
+        aggregated = {
+            "ipc_loss_pct": 100.0 * (1.0 - _geometric_mean(ipc_ratios)),
+            "energy": _geometric_mean(ratios["energy"]),
+            "energy_delay": _geometric_mean(ratios["energy_delay"]),
+            "energy_delay2": _geometric_mean(ratios["energy_delay2"]),
+        }
+        return PointScore(
+            point=point,
+            ipc=_geometric_mean(ipcs),
+            baseline_ipc=_geometric_mean(baseline_ipcs),
+            objectives=aggregated,
+            per_benchmark=per_benchmark,
+        )

@@ -8,18 +8,44 @@ neighbourhoods of current frontier points (single-dimension
 perturbations from the :class:`~repro.explore.space.DesignSpace`),
 evaluate whatever is new, and fold it back in — so search effort
 concentrates where the energy/performance trade-off is actually won.
+
+The frontier is maintained *incrementally* across rounds
+(:func:`fold_frontier`): only the round's new scores are folded in and
+displaced members dropped, instead of re-scanning every accumulated
+score — result-identical to the naive O(n²) scan because a score once
+dominated stays dominated (its dominator never leaves the accumulated
+set), and order-identical because survivors keep input order.
+
+Two optional refinements keep the re-sampling budget pointed at
+*diverse* frontier regions rather than dense clusters:
+:func:`epsilon_front` thins the frontier to representatives that are
+not epsilon-dominated by an already-kept point (tolerances scaled per
+objective by the frontier's own value range), and
+:func:`crowding_select` applies NSGA-II crowding-distance selection
+when the frontier outgrows the per-round neighbourhood budget —
+boundary points always survive, then the least-crowded interior points.
+Both are deterministic in input order.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.rng import make_rng
 from repro.explore.objectives import OBJECTIVES, PointScore
 from repro.explore.space import DesignSpace
 
-__all__ = ["dominates", "pareto_front", "pair_fronts", "refine"]
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "fold_frontier",
+    "epsilon_front",
+    "crowding_distances",
+    "crowding_select",
+    "pair_fronts",
+    "refine",
+]
 
 
 def dominates(
@@ -69,6 +95,129 @@ def pair_fronts(
     }
 
 
+def fold_frontier(
+    frontier: Sequence[PointScore],
+    new_scores: Sequence[PointScore],
+    keys: Sequence[str] = OBJECTIVES,
+) -> List[PointScore]:
+    """Fold ``new_scores`` into an existing frontier incrementally.
+
+    Equivalent to ``pareto_front(all_seen + new_scores)`` when
+    ``frontier`` is the frontier of everything seen so far: a candidate
+    dominated by a current member is discarded (that member — or, for
+    previously discarded scores, their original dominator — remains in
+    the accumulated set, so discards are final), and members dominated
+    by a surviving candidate are displaced. Survivors append in input
+    order, so the result order matches the naive full scan.
+    """
+    front = list(frontier)
+    for candidate in new_scores:
+        if any(
+            dominates(member.objectives, candidate.objectives, keys)
+            for member in front
+        ):
+            continue
+        front = [
+            member
+            for member in front
+            if not dominates(candidate.objectives, member.objectives, keys)
+        ]
+        front.append(candidate)
+    return front
+
+
+def epsilon_front(
+    scores: Sequence[PointScore],
+    epsilon: float,
+    keys: Sequence[str] = OBJECTIVES,
+) -> List[PointScore]:
+    """Thin a frontier by additive epsilon-dominance.
+
+    A point is dropped when an already-kept point epsilon-dominates it:
+    no worse than ``value + epsilon · range`` on every objective, where
+    ``range`` is the frontier's own spread on that objective (so one
+    epsilon works across axes with different units — percent IPC loss
+    vs. normalized energy ratios). ``epsilon = 0`` only collapses
+    points whose objective vectors tie exactly (first representative
+    wins); a negative epsilon raises :class:`ValueError`.
+    Deterministic: input order decides which representative survives.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon cannot be negative")
+    if not scores:
+        return []
+    tolerance: Dict[str, float] = {}
+    for key in keys:
+        values = [score.objectives[key] for score in scores]
+        tolerance[key] = epsilon * (max(values) - min(values))
+    kept: List[PointScore] = []
+    for candidate in scores:
+        if not any(
+            all(
+                member.objectives[key] <= candidate.objectives[key] + tolerance[key]
+                for key in keys
+            )
+            for member in kept
+        ):
+            kept.append(candidate)
+    return kept
+
+
+def crowding_distances(
+    scores: Sequence[PointScore], keys: Sequence[str] = OBJECTIVES
+) -> List[float]:
+    """NSGA-II crowding distance of every score (input order).
+
+    Per objective, scores are sorted (ties broken by input index for
+    determinism); the extremes get infinite distance and interior
+    points accumulate the normalized gap between their neighbours.
+    """
+    n = len(scores)
+    distances = [0.0] * n
+    if n <= 2:
+        return [float("inf")] * n
+    for key in keys:
+        order = sorted(range(n), key=lambda i: (scores[i].objectives[key], i))
+        low = scores[order[0]].objectives[key]
+        high = scores[order[-1]].objectives[key]
+        span = high - low
+        if span <= 0:
+            # Every point ties on this objective: there are no genuine
+            # extremes to protect, so the axis contributes nothing
+            # (instead of handing infinite distance to whichever points
+            # the index tie-break happens to sort first and last).
+            continue
+        distances[order[0]] = distances[order[-1]] = float("inf")
+        for position in range(1, n - 1):
+            gap = (
+                scores[order[position + 1]].objectives[key]
+                - scores[order[position - 1]].objectives[key]
+            )
+            distances[order[position]] += gap / span
+    return distances
+
+
+def crowding_select(
+    scores: Sequence[PointScore],
+    budget: int,
+    keys: Sequence[str] = OBJECTIVES,
+) -> List[PointScore]:
+    """At most ``budget`` scores, preferring the least crowded.
+
+    Selection ranks by descending crowding distance with input index as
+    the deterministic tie-break (so objective-extreme points always
+    survive), then restores input order.
+    """
+    if budget < 1:
+        raise ValueError("crowding budget must be at least 1")
+    if len(scores) <= budget:
+        return list(scores)
+    distances = crowding_distances(scores, keys)
+    ranked = sorted(range(len(scores)), key=lambda i: (-distances[i], i))
+    chosen = sorted(ranked[:budget])
+    return [scores[i] for i in chosen]
+
+
 def refine(
     space: DesignSpace,
     evaluate: Callable[[Sequence], List[PointScore]],
@@ -77,23 +226,39 @@ def refine(
     per_point: int,
     seed: int,
     keys: Sequence[str] = OBJECTIVES,
-) -> Tuple[List[PointScore], List[Dict[str, int]]]:
+    epsilon: float = 0.0,
+    frontier_budget: Optional[int] = None,
+) -> Tuple[List[PointScore], List[Dict[str, int]], List[PointScore]]:
     """Adaptively re-sample frontier neighbourhoods for ``rounds`` rounds.
 
     ``evaluate`` maps a list of fresh :class:`DesignPoint`\\ s to their
     scores (the drivers wire it to a batched, cache-backed scorer).
     Already-evaluated points (by ``point_id``) are never re-submitted,
     so warm reruns converge without touching the simulator. Returns the
-    accumulated scores plus one telemetry record per round.
+    accumulated scores, one telemetry record per round, and the final
+    frontier — maintained incrementally via :func:`fold_frontier`, so
+    callers need no closing O(n²) :func:`pareto_front` scan.
+
+    ``epsilon > 0`` thins each round's frontier via
+    :func:`epsilon_front` before expansion; ``frontier_budget`` caps
+    how many frontier points seed neighbourhoods per round, selected by
+    :func:`crowding_select`. With both at their defaults the expansion
+    set is the raw frontier and the telemetry records keep their
+    original shape, so existing artifacts stay byte-identical.
     """
     all_scores: List[PointScore] = list(scores)
     evaluated = {score.point.point_id for score in all_scores}
+    frontier = pareto_front(all_scores, keys)
     log: List[Dict[str, int]] = []
     for round_index in range(rounds):
-        frontier = pareto_front(all_scores, keys)
+        expansion = frontier
+        if epsilon > 0:
+            expansion = epsilon_front(expansion, epsilon, keys)
+        if frontier_budget is not None:
+            expansion = crowding_select(expansion, frontier_budget, keys)
         rng = make_rng(seed, f"explore.refine.{round_index}")
         candidates = []
-        for score in frontier:
+        for score in expansion:
             candidates.extend(
                 space.neighborhood(score.point.assignment_dict, per_point, rng)
             )
@@ -105,13 +270,15 @@ def refine(
         new_scores = evaluate(fresh)
         evaluated.update(score.point.point_id for score in new_scores)
         all_scores.extend(new_scores)
-        log.append(
-            {
-                "round": round_index + 1,
-                "frontier_size": len(frontier),
-                "candidates": len(candidates),
-                "evaluated": len(new_scores),
-                "total_points": len(all_scores),
-            }
-        )
-    return all_scores, log
+        entry = {
+            "round": round_index + 1,
+            "frontier_size": len(frontier),
+            "candidates": len(candidates),
+            "evaluated": len(new_scores),
+            "total_points": len(all_scores),
+        }
+        if epsilon > 0 or frontier_budget is not None:
+            entry["expanded"] = len(expansion)
+        log.append(entry)
+        frontier = fold_frontier(frontier, new_scores, keys)
+    return all_scores, log, frontier

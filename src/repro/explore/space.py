@@ -8,6 +8,16 @@ expansion logic that turns an *assignment* (one value per dimension)
 into a concrete :class:`DesignPoint`: a validated
 :class:`~repro.common.config.ProcessorConfig` paired with a workload.
 
+The workload enters the space in one of two modes. In the default
+*axis* mode ``benchmark`` is a dimension like any other and each point
+is one (config, benchmark) pair — the frontier then rewards
+per-workload winners. With ``DesignSpace(aggregate_benchmarks=...)``
+the benchmark dimension disappears and every point instead carries the
+whole declared workload *set*: one design is one point, scored across
+the suite (see :class:`~repro.explore.objectives.SuiteAggregator`), so
+the frontier ranks suite-robust geometries the way the paper's
+cross-SPEC averages do.
+
 Assignments are *repaired* rather than rejected where the paper's
 structural rules make a combination meaningless (a conventional queue
 has one queue per side, only MixBUFF caps chains, distributed FUs need
@@ -95,6 +105,11 @@ class DesignPoint:
     repaired, validated processor configuration the assignment expands
     to. ``point_id`` is content-addressed over the config and the
     benchmark, so assignments that repair to the same machine collapse.
+
+    In aggregate mode ``benchmarks`` names the whole workload set the
+    point is scored across and ``benchmark`` is a short deterministic
+    suite token (used in labels, rows and the point id); in axis mode
+    ``benchmarks`` is empty and ``benchmark`` is the sampled workload.
     """
 
     assignment: Tuple[Tuple[str, Any], ...]
@@ -102,6 +117,7 @@ class DesignPoint:
     config: ProcessorConfig
     label: str
     point_id: str
+    benchmarks: Tuple[str, ...] = ()
 
     @property
     def assignment_dict(self) -> Dict[str, Any]:
@@ -123,10 +139,30 @@ _KNOWN_DIMENSIONS = (
 )
 
 
-class DesignSpace:
-    """A declared set of dimensions plus assignment-expansion logic."""
+def _suite_token(benchmarks: Sequence[str]) -> str:
+    """Short deterministic token naming an aggregation set."""
+    joined = "+".join(benchmarks)
+    if len(joined) <= 40:
+        return f"suite:{joined}"
+    digest = hashlib.sha256(joined.encode("ascii")).hexdigest()[:8]
+    return f"suite:{len(benchmarks)}bench-{digest}"
 
-    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+
+class DesignSpace:
+    """A declared set of dimensions plus assignment-expansion logic.
+
+    ``aggregate_benchmarks`` switches the workload mode: when given, the
+    space has no ``benchmark`` dimension and every expanded point
+    carries the whole set (scored suite-wide); when ``None`` (default),
+    ``benchmark`` must be a declared dimension and each point is one
+    (config, benchmark) pair.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        aggregate_benchmarks: Optional[Sequence[str]] = None,
+    ) -> None:
         names = [d.name for d in dimensions]
         if len(set(names)) != len(names):
             raise ConfigurationError("duplicate dimension names in design space")
@@ -135,8 +171,24 @@ class DesignSpace:
             raise ConfigurationError(
                 f"unknown dimensions {unknown}; known: {list(_KNOWN_DIMENSIONS)}"
             )
-        if "benchmark" not in names:
-            raise ConfigurationError("a design space needs a 'benchmark' dimension")
+        if aggregate_benchmarks is not None:
+            if not aggregate_benchmarks:
+                raise ConfigurationError("aggregate_benchmarks cannot be empty")
+            if len(set(aggregate_benchmarks)) != len(tuple(aggregate_benchmarks)):
+                raise ConfigurationError("duplicate names in aggregate_benchmarks")
+            if "benchmark" in names:
+                raise ConfigurationError(
+                    "an aggregated space scores every point across its "
+                    "benchmark set; drop the 'benchmark' dimension"
+                )
+            self.aggregate_benchmarks: Tuple[str, ...] = tuple(aggregate_benchmarks)
+        else:
+            if "benchmark" not in names:
+                raise ConfigurationError(
+                    "a design space needs a 'benchmark' dimension "
+                    "(or aggregate_benchmarks=...)"
+                )
+            self.aggregate_benchmarks = ()
         self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
         self._by_name: Dict[str, Dimension] = {d.name: d for d in dimensions}
 
@@ -150,7 +202,10 @@ class DesignSpace:
 
     def describe(self) -> Dict[str, List[Any]]:
         """JSON-friendly rendering of the declared space."""
-        return {d.name: list(d.values) for d in self.dimensions}
+        described = {d.name: list(d.values) for d in self.dimensions}
+        if self.aggregate_benchmarks:
+            described["aggregate_benchmarks"] = list(self.aggregate_benchmarks)
+        return described
 
     def _get(self, assignment: Mapping[str, Any], name: str, fallback: Any) -> Any:
         dim = self._by_name.get(name)
@@ -176,7 +231,10 @@ class DesignSpace:
         max_chains = self._get(assignment, "max_chains", None)
         issue_width = self._get(assignment, "issue_width", 8)
         rob_entries = self._get(assignment, "rob_entries", 256)
-        benchmark = assignment["benchmark"]
+        if self.aggregate_benchmarks:
+            benchmark = _suite_token(self.aggregate_benchmarks)
+        else:
+            benchmark = assignment["benchmark"]
 
         if kind == SCHEME_CONVENTIONAL:
             # One monolithic queue per side with the *same total capacity*
@@ -221,6 +279,7 @@ class DesignSpace:
             config=config,
             label=label,
             point_id=point_id,
+            benchmarks=self.aggregate_benchmarks,
         )
 
     def expand(self, assignments: Iterable[Mapping[str, Any]]) -> List[DesignPoint]:
@@ -238,20 +297,39 @@ class DesignSpace:
         return points
 
     # -- sampling ------------------------------------------------------
+    def _decode_grid_index(self, index: int) -> Dict[str, Any]:
+        """Assignment at ``index`` of the Cartesian grid.
+
+        Mixed-radix decoding in :func:`itertools.product` order (last
+        dimension varies fastest), so ``_decode_grid_index(i)`` equals
+        the ``i``-th element of the full product without walking it.
+        """
+        values: List[Any] = []
+        for dim in reversed(self.dimensions):
+            index, digit = divmod(index, len(dim.values))
+            values.append(dim.values[digit])
+        values.reverse()
+        return {d.name: v for d, v in zip(self.dimensions, values)}
+
     def grid_assignments(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
-        """The Cartesian grid, evenly strided down to ``limit`` entries."""
+        """The Cartesian grid, evenly strided down to ``limit`` entries.
+
+        A bounded request decodes the ``limit`` strided indices directly
+        (O(limit · dims)) instead of enumerating the whole product —
+        a 12-sample request over a million-point space touches exactly
+        12 grid indices.
+        """
         total = len(self)
-        product = itertools.product(*(d.values for d in self.dimensions))
         names = [d.name for d in self.dimensions]
         if limit is None or limit >= total:
+            product = itertools.product(*(d.values for d in self.dimensions))
             return [dict(zip(names, combo)) for combo in product]
         if limit <= 0:
             return []
-        wanted = {i * total // limit for i in range(limit)}
+        # i * total // limit is strictly increasing for limit <= total,
+        # so the strided indices are already distinct and sorted.
         return [
-            dict(zip(names, combo))
-            for i, combo in enumerate(product)
-            if i in wanted
+            self._decode_grid_index(i * total // limit) for i in range(limit)
         ]
 
     def random_assignments(self, n: int, seed: int) -> List[Dict[str, Any]]:
@@ -304,30 +382,33 @@ class DesignSpace:
         return variants[:limit] if limit else variants
 
 
-def default_space(benchmarks: Sequence[str]) -> DesignSpace:
+def default_space(benchmarks: Sequence[str], aggregate: bool = False) -> DesignSpace:
     """The standard exploration space over the paper's design axes.
 
     Scheme kind and geometry span (and exceed) the Section 3/4 sweeps;
     issue width and ROB size probe the processor context; ``benchmarks``
-    provides the workload axis.
+    provides the workload axis — or, with ``aggregate=True``, the
+    workload *set* every point is scored across (the paper's cross-suite
+    averaging; see :class:`~repro.explore.objectives.SuiteAggregator`).
     """
     if not benchmarks:
         raise ConfigurationError("default_space needs at least one benchmark")
-    return DesignSpace(
-        [
-            Dimension(
-                "kind",
-                ("conventional", "issuefifo", "latfifo", "mixbuff"),
-                ordinal=False,
-            ),
-            Dimension("int_queues", (4, 8, 12, 16)),
-            Dimension("int_entries", (4, 8, 16)),
-            Dimension("fp_queues", (4, 8, 12, 16)),
-            Dimension("fp_entries", (8, 16)),
-            Dimension("distributed_fus", (False, True), ordinal=False),
-            Dimension("max_chains", (None, 4, 8), ordinal=False),
-            Dimension("issue_width", (4, 8)),
-            Dimension("rob_entries", (128, 256)),
-            Dimension("benchmark", tuple(benchmarks), ordinal=False),
-        ]
-    )
+    dimensions = [
+        Dimension(
+            "kind",
+            ("conventional", "issuefifo", "latfifo", "mixbuff"),
+            ordinal=False,
+        ),
+        Dimension("int_queues", (4, 8, 12, 16)),
+        Dimension("int_entries", (4, 8, 16)),
+        Dimension("fp_queues", (4, 8, 12, 16)),
+        Dimension("fp_entries", (8, 16)),
+        Dimension("distributed_fus", (False, True), ordinal=False),
+        Dimension("max_chains", (None, 4, 8), ordinal=False),
+        Dimension("issue_width", (4, 8)),
+        Dimension("rob_entries", (128, 256)),
+    ]
+    if aggregate:
+        return DesignSpace(dimensions, aggregate_benchmarks=tuple(benchmarks))
+    dimensions.append(Dimension("benchmark", tuple(benchmarks), ordinal=False))
+    return DesignSpace(dimensions)

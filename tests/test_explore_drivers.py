@@ -15,7 +15,7 @@ from repro.explore.drivers import (
     run_exploration,
     write_artifacts,
 )
-from repro.explore.objectives import OBJECTIVES
+from repro.explore.objectives import OBJECTIVES, PointScore
 from repro.workloads.suites import STRESS_BENCHMARKS
 
 
@@ -55,6 +55,12 @@ class TestResolveBenchmarks:
         with pytest.raises(ConfigurationError):
             resolve_benchmarks(" , ")
 
+    def test_duplicate_names_rejected(self):
+        # Duplicates would otherwise surface as a raw traceback from
+        # DesignSpace/Dimension construction deep inside run_exploration.
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            resolve_benchmarks("gzip,gzip")
+
 
 class TestRunExploration:
     def test_scores_cover_objectives_and_frontier_nonempty(self, result):
@@ -92,6 +98,24 @@ class TestRunExploration:
             ExplorationSettings(rounds=-1).validate()
         with pytest.raises(ConfigurationError):
             ExplorationSettings(benchmarks=()).validate()
+        with pytest.raises(ConfigurationError):
+            ExplorationSettings(epsilon=-0.5).validate()
+        with pytest.raises(ConfigurationError):
+            ExplorationSettings(frontier_budget=0).validate()
+
+    def test_settings_dict_omits_defaulted_diversity_knobs(self):
+        # Frozen artifact schema: pre-aggregate explorations must keep
+        # producing byte-identical frontier.json for a fixed seed.
+        assert set(ExplorationSettings().as_dict()) == {
+            "samples", "rounds", "seed", "strategy", "benchmarks",
+            "neighbors_per_point", "num_instructions",
+        }
+        enriched = ExplorationSettings(
+            aggregate=True, epsilon=0.05, frontier_budget=8
+        ).as_dict()
+        assert enriched["aggregate"] is True
+        assert enriched["epsilon"] == 0.05
+        assert enriched["frontier_budget"] == 8
 
 
 class TestWarmCache:
@@ -136,6 +160,115 @@ class TestArtifacts:
         assert "Non-dominated points per objective pair" in text
         assert result.frontier[0].point.label in text
 
+    def test_report_disambiguates_colliding_labels(self):
+        # Labels don't encode every dimension (the MixBUFF chain cap is
+        # invisible to scheme_name), so distinct frontier points can
+        # share one; the report must keep a row for each instead of
+        # silently overwriting.
+        from repro.explore.artifacts import _display_labels
+        from repro.explore.space import default_space
+
+        space = default_space(["gzip"], aggregate=True)
+        base = {"kind": "mixbuff", "int_queues": 8, "int_entries": 8,
+                "fp_queues": 8, "fp_entries": 16, "issue_width": 8,
+                "rob_entries": 256, "distributed_fus": False}
+        a = space.build_point(dict(base, max_chains=4))
+        b = space.build_point(dict(base, max_chains=8))
+        assert a.label == b.label and a.point_id != b.point_id
+        scores = [
+            PointScore(point=p, ipc=1.0, baseline_ipc=1.0,
+                       objectives={k: 1.0 for k in OBJECTIVES})
+            for p in (a, b)
+        ]
+        labels = _display_labels(scores)
+        assert len(set(labels.values())) == 2
+        assert all(label.startswith(a.label) for label in labels.values())
+
+
+AGGREGATE = ExplorationSettings(
+    samples=5,
+    rounds=1,
+    seed=11,
+    strategy="mixed",
+    benchmarks=("gzip", "streampump"),
+    neighbors_per_point=2,
+    num_instructions=1000,
+    aggregate=True,
+    epsilon=0.05,
+    frontier_budget=6,
+)
+
+
+@pytest.fixture(scope="module")
+def aggregated():
+    return run_exploration(AGGREGATE, store=False)
+
+
+class TestAggregateExploration:
+    def test_points_are_suite_wide(self, aggregated):
+        assert aggregated.scores
+        for score in aggregated.scores:
+            assert score.point.benchmarks == AGGREGATE.benchmarks
+            assert tuple(score.per_benchmark) == AGGREGATE.benchmarks
+            assert set(score.objectives) == set(OBJECTIVES)
+
+    def test_frontier_nonempty_and_nondominated(self, aggregated):
+        from repro.explore.pareto import dominates
+
+        assert aggregated.frontier
+        for a in aggregated.frontier:
+            for b in aggregated.frontier:
+                assert not dominates(a.objectives, b.objectives, OBJECTIVES)
+
+    def test_deterministic_for_fixed_seed(self, aggregated):
+        again = run_exploration(AGGREGATE, store=False)
+        assert [s.point.point_id for s in again.scores] == [
+            s.point.point_id for s in aggregated.scores
+        ]
+        assert again.scores[0].objectives == aggregated.scores[0].objectives
+        assert again.scores[0].per_benchmark == aggregated.scores[0].per_benchmark
+
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        cold = run_exploration(AGGREGATE, store=ResultStore(tmp_path))
+        assert cold.cache_stats["simulations"] > 0
+        warm = run_exploration(AGGREGATE, store=ResultStore(tmp_path))
+        assert warm.cache_stats["simulations"] == 0
+        for a, b in zip(cold.scores, warm.scores):
+            assert a.objectives == b.objectives
+            assert a.per_benchmark == b.per_benchmark
+
+    def test_artifacts_embed_sub_scores(self, aggregated, tmp_path):
+        paths = write_artifacts(aggregated, tmp_path)
+        payload = json.loads(paths["json"].read_text())
+        assert payload["settings"]["aggregate"] is True
+        assert payload["space"]["aggregate_benchmarks"] == list(AGGREGATE.benchmarks)
+        for row in payload["points"]:
+            for benchmark in AGGREGATE.benchmarks:
+                assert f"{benchmark}.ipc_loss_pct" in row
+        with open(paths["csv"], newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert f"{AGGREGATE.benchmarks[0]}.energy" in rows[0]
+
+    def test_report_includes_per_benchmark_breakdown(self, aggregated):
+        text = aggregated.report()
+        assert "Per-benchmark IPC loss" in text
+        for benchmark in AGGREGATE.benchmarks:
+            assert benchmark in text
+
+    def test_custom_space_must_match_the_aggregate_flag(self):
+        from repro.explore.space import default_space
+
+        axis_space = default_space(["gzip"])
+        with pytest.raises(ConfigurationError, match="workload mode"):
+            run_exploration(AGGREGATE, space=axis_space, store=False)
+        agg_space = default_space(["gzip"], aggregate=True)
+        with pytest.raises(ConfigurationError, match="workload mode"):
+            run_exploration(SMALL, space=agg_space, store=False)
+        # Matching mode but a different suite is just as misleading in
+        # the artifact's settings block.
+        with pytest.raises(ConfigurationError, match="aggregate_benchmarks"):
+            run_exploration(AGGREGATE, space=agg_space, store=False)
+
 
 class TestCli:
     def test_cli_end_to_end_and_warm_rerun(self, tmp_path, capsys):
@@ -153,6 +286,37 @@ class TestCli:
         warm = capsys.readouterr().out
         assert "0 executions" in warm
         assert (out / "frontier.json").read_bytes() == first
+
+    def test_cli_aggregate_end_to_end_and_warm_rerun(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        args = ["--aggregate", "gzip,streampump", "--samples", "4",
+                "--rounds", "1", "--seed", "11", "--scale", "1000",
+                "--epsilon", "0.05", "--frontier-budget", "6",
+                "--out", str(out), "--cache-dir", str(tmp_path / "cache")]
+        explore_main(args)
+        cold = capsys.readouterr().out
+        assert "Per-benchmark IPC loss" in cold
+        first = (out / "frontier.json").read_bytes()
+        assert b'"aggregate": true' in first
+        explore_main(args)
+        warm = capsys.readouterr().out
+        assert "0 executions" in warm
+        assert (out / "frontier.json").read_bytes() == first
+
+    def test_cli_bare_aggregate_defaults_to_mini(self, capsys):
+        # --aggregate without a value must parse as const="mini"; the
+        # exit must come from the scale validation downstream of a
+        # successfully resolved aggregate spec, not an argparse error
+        # about --aggregate expecting an argument.
+        with pytest.raises(SystemExit):
+            explore_main(["--aggregate", "--scale", "100"])
+        err = capsys.readouterr().err
+        assert "warm-up" in err
+        assert "expected one argument" not in err
+
+    def test_cli_rejects_unknown_aggregate_suite(self, tmp_path):
+        with pytest.raises(SystemExit):
+            explore_main(["--aggregate", "doom", "--out", str(tmp_path)])
 
     def test_cli_rejects_unknown_benchmark(self, tmp_path):
         with pytest.raises(SystemExit):

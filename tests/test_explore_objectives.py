@@ -1,0 +1,123 @@
+"""Tests for objective scoring: degenerate baselines and suite aggregation."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import SimulationStats
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.explore.objectives import OBJECTIVES, ObjectiveScorer, SuiteAggregator
+from repro.explore.space import default_space
+
+
+BASE_ASSIGNMENT = {
+    "kind": "issuefifo",
+    "int_queues": 8,
+    "int_entries": 8,
+    "fp_queues": 8,
+    "fp_entries": 16,
+    "distributed_fus": False,
+    "max_chains": None,
+    "issue_width": 8,
+    "rob_entries": 256,
+}
+
+
+def axis_point(benchmark="gzip"):
+    space = default_space([benchmark])
+    return space.build_point(dict(BASE_ASSIGNMENT, benchmark=benchmark))
+
+
+def suite_point(benchmarks):
+    space = default_space(benchmarks, aggregate=True)
+    return space.build_point(dict(BASE_ASSIGNMENT))
+
+
+class DeadRunner:
+    """Runner stub whose every run commits zero instructions."""
+
+    def run(self, benchmark, config):
+        return SimulationStats(cycles=250, committed_instructions=0)
+
+    def prefetch(self, pairs):
+        pass
+
+
+class TestDegenerateBaseline:
+    def test_zero_ipc_baseline_raises_configuration_error(self):
+        scorer = ObjectiveScorer(DeadRunner())
+        with pytest.raises(ConfigurationError, match="IPC 0"):
+            scorer.score(axis_point())
+
+    def test_aggregator_guards_every_benchmark(self):
+        aggregator = SuiteAggregator(DeadRunner(), ("gzip", "mcf"))
+        with pytest.raises(ConfigurationError, match="gzip"):
+            aggregator.score(suite_point(["gzip", "mcf"]))
+
+    def test_aggregator_rejects_empty_suite(self):
+        with pytest.raises(ConfigurationError):
+            SuiteAggregator(DeadRunner(), ())
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        RunScale(num_instructions=1000, warmup_instructions=500, seed=11),
+        store=False,
+    )
+
+
+class TestSuiteAggregation:
+    BENCHMARKS = ("gzip", "streampump")
+
+    def test_aggregate_is_geometric_mean_of_sub_scores(self, runner):
+        aggregator = SuiteAggregator(runner, self.BENCHMARKS)
+        score = aggregator.score(suite_point(self.BENCHMARKS))
+        assert tuple(score.per_benchmark) == self.BENCHMARKS
+        for name in ("energy", "energy_delay", "energy_delay2"):
+            expected = math.prod(
+                score.per_benchmark[b][name] for b in self.BENCHMARKS
+            ) ** (1.0 / len(self.BENCHMARKS))
+            assert score.objectives[name] == pytest.approx(expected)
+        ratio = math.prod(
+            score.per_benchmark[b]["ipc"] / score.per_benchmark[b]["baseline_ipc"]
+            for b in self.BENCHMARKS
+        ) ** (1.0 / len(self.BENCHMARKS))
+        assert score.objectives["ipc_loss_pct"] == pytest.approx(100.0 * (1.0 - ratio))
+
+    def test_sub_scores_match_axis_scorer(self, runner):
+        aggregator = SuiteAggregator(runner, self.BENCHMARKS)
+        aggregated = aggregator.score(suite_point(self.BENCHMARKS))
+        axis = ObjectiveScorer(runner)
+        for benchmark in self.BENCHMARKS:
+            single = axis.score(axis_point(benchmark))
+            sub = aggregated.per_benchmark[benchmark]
+            assert sub["ipc"] == single.ipc
+            assert sub["baseline_ipc"] == single.baseline_ipc
+            for name in OBJECTIVES:
+                assert sub[name] == single.objectives[name]
+
+    def test_required_pairs_cover_the_point_x_suite_matrix(self, runner):
+        aggregator = SuiteAggregator(runner, self.BENCHMARKS)
+        point = suite_point(self.BENCHMARKS)
+        pairs = aggregator.required_pairs([point])
+        # baseline + point config, each on every benchmark, no duplicates.
+        assert len(pairs) == 2 * len(self.BENCHMARKS)
+        assert len(set(pairs)) == len(pairs)
+        assert {benchmark for benchmark, _ in pairs} == set(self.BENCHMARKS)
+
+    def test_as_row_embeds_per_benchmark_columns(self, runner):
+        aggregator = SuiteAggregator(runner, self.BENCHMARKS)
+        row = aggregator.score(suite_point(self.BENCHMARKS)).as_row()
+        for benchmark in self.BENCHMARKS:
+            assert f"{benchmark}.ipc" in row
+            for name in OBJECTIVES:
+                assert row[f"{benchmark}.{name}"] is not None
+
+    def test_axis_rows_stay_flat(self, runner):
+        score = ObjectiveScorer(runner).score(axis_point())
+        assert score.per_benchmark is None
+        # No per-benchmark columns leak into axis-mode rows (artifact
+        # schema for the existing mode is frozen).
+        assert not any("." in key for key in score.as_row())

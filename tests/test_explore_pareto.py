@@ -1,6 +1,19 @@
 """Tests for Pareto dominance, frontier extraction and refinement."""
 
-from repro.explore.pareto import dominates, pair_fronts, pareto_front, refine
+import random
+
+import pytest
+
+from repro.explore.pareto import (
+    crowding_distances,
+    crowding_select,
+    dominates,
+    epsilon_front,
+    fold_frontier,
+    pair_fronts,
+    pareto_front,
+    refine,
+)
 from repro.explore.objectives import PointScore
 from repro.explore.space import default_space
 
@@ -89,19 +102,24 @@ class TestRefine:
 
         initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
         seen.add(initial[0].point.point_id)
-        scores, log = refine(space, evaluate, initial, rounds=2,
-                             per_point=3, seed=5, keys=KEYS)
+        scores, log, frontier = refine(space, evaluate, initial, rounds=2,
+                                       per_point=3, seed=5, keys=KEYS)
         assert len(log) == 2
         assert log[0]["evaluated"] > 0
         assert len(scores) == log[-1]["total_points"]
+        # The incrementally maintained frontier matches the naive scan.
+        assert [id(s) for s in frontier] == [
+            id(s) for s in pareto_front(scores, KEYS)
+        ]
 
     def test_zero_rounds_is_identity(self):
         space = default_space(["gzip"])
         initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
-        scores, log = refine(space, lambda pts: [], initial, rounds=0,
-                             per_point=3, seed=5, keys=KEYS)
+        scores, log, frontier = refine(space, lambda pts: [], initial, rounds=0,
+                                       per_point=3, seed=5, keys=KEYS)
         assert scores == initial
         assert log == []
+        assert frontier == pareto_front(initial, KEYS)
 
     def test_refinement_is_deterministic_in_seed(self):
         space = default_space(["gzip"])
@@ -114,8 +132,160 @@ class TestRefine:
             ]
 
         initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
-        first, _ = refine(space, evaluate, initial, 1, 3, seed=9, keys=KEYS)
-        second, _ = refine(space, evaluate, initial, 1, 3, seed=9, keys=KEYS)
+        first, _, __ = refine(space, evaluate, initial, 1, 3, seed=9, keys=KEYS)
+        second, _, __ = refine(space, evaluate, initial, 1, 3, seed=9, keys=KEYS)
         assert [s.point.point_id for s in first] == [
             s.point.point_id for s in second
         ]
+
+    def test_default_log_shape_is_unchanged(self):
+        space = default_space(["gzip"])
+        initial = [fake_score(space, {"a": 0.0, "b": 0.0})]
+        _, log, __ = refine(space, lambda pts: [], initial, rounds=1,
+                            per_point=2, seed=5, keys=KEYS)
+        # Artifact schema freeze: no new telemetry keys unless the
+        # diversity knobs are switched on.
+        assert set(log[0]) == {
+            "round", "frontier_size", "candidates", "evaluated", "total_points",
+        }
+
+    def test_diversity_knobs_add_expansion_telemetry(self):
+        space = default_space(["gzip"])
+        initial = [
+            fake_score(space, {"a": 0.0, "b": 3.0}, int_queues=4),
+            fake_score(space, {"a": 3.0, "b": 0.0}, int_queues=8),
+            fake_score(space, {"a": 1.0, "b": 1.0}, int_queues=12),
+        ]
+        _, log, __ = refine(space, lambda pts: [], initial, rounds=1,
+                            per_point=2, seed=5, keys=KEYS,
+                            epsilon=0.1, frontier_budget=2)
+        assert log[0]["frontier_size"] == 3
+        assert log[0]["expanded"] == 2
+
+    def test_budget_limits_neighbourhood_expansion_deterministically(self):
+        space = default_space(["gzip"])
+        initial = [
+            fake_score(space, {"a": float(i), "b": 9.0 - float(i)},
+                       int_queues=4 * (1 + i % 4), issue_width=4 + 4 * (i % 2))
+            for i in range(8)
+        ]
+
+        def evaluate(points):
+            return [
+                PointScore(point=p, ipc=1.0, baseline_ipc=1.0,
+                           objectives={"a": 50.0, "b": 50.0})
+                for p in points
+            ]
+
+        first, log1, __ = refine(space, evaluate, initial, 2, 2, seed=3,
+                                 keys=KEYS, frontier_budget=3)
+        second, log2, __ = refine(space, evaluate, initial, 2, 2, seed=3,
+                                  keys=KEYS, frontier_budget=3)
+        assert [s.point.point_id for s in first] == [
+            s.point.point_id for s in second
+        ]
+        assert log1 == log2
+        for entry in log1:
+            assert entry["expanded"] <= 3
+            # each expanded point contributes at most per_point variants
+            assert entry["candidates"] <= entry["expanded"] * 2
+
+
+def vector_scores(vectors, keys):
+    """PointScores sharing one design point (frontier code only reads
+    objectives and object identity)."""
+    space = default_space(["gzip"])
+    point = space.build_point({"kind": "issuefifo", "benchmark": "gzip"})
+    return [
+        PointScore(point=point, ipc=1.0, baseline_ipc=1.0,
+                   objectives=dict(zip(keys, vector)))
+        for vector in vectors
+    ]
+
+
+class TestFoldFrontier:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_differential_against_naive_scan(self, seed):
+        rng = random.Random(seed)
+        keys = ("a", "b", "c")[: 2 + seed % 2]
+        # Coarse grid values make ties and dominations frequent.
+        scores = vector_scores(
+            [
+                tuple(rng.randrange(6) for _ in keys)
+                for _ in range(rng.randrange(30, 80))
+            ],
+            keys,
+        )
+        accumulated = []
+        frontier = []
+        while scores:
+            size = rng.randrange(1, 9)
+            batch, scores = scores[:size], scores[size:]
+            accumulated.extend(batch)
+            frontier = fold_frontier(frontier, batch, keys)
+            naive = pareto_front(accumulated, keys)
+            assert [id(s) for s in frontier] == [id(s) for s in naive]
+
+    def test_fold_into_empty_frontier(self):
+        scores = vector_scores([(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)], KEYS)
+        assert fold_frontier([], scores, KEYS) == pareto_front(scores, KEYS)
+
+    def test_duplicates_survive_folding(self):
+        twins = vector_scores([(1.0, 1.0), (1.0, 1.0)], KEYS)
+        assert fold_frontier([twins[0]], [twins[1]], KEYS) == twins
+
+
+class TestEpsilonFront:
+    def test_near_duplicates_are_thinned_first_kept(self):
+        scores = vector_scores(
+            [(0.0, 10.0), (0.4, 9.8), (5.0, 5.0), (10.0, 0.0)], KEYS
+        )
+        thinned = epsilon_front(scores, 0.1, KEYS)
+        assert thinned == [scores[0], scores[2], scores[3]]
+
+    def test_zero_epsilon_keeps_tradeoffs_drops_exact_ties(self):
+        distinct = vector_scores([(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)], KEYS)
+        assert epsilon_front(distinct, 0.0, KEYS) == distinct
+        twins = vector_scores([(1.0, 1.0), (1.0, 1.0)], KEYS)
+        assert epsilon_front(twins, 0.0, KEYS) == twins[:1]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            epsilon_front([], -0.1, KEYS)
+
+    def test_empty_input(self):
+        assert epsilon_front([], 0.5, KEYS) == []
+
+
+class TestCrowdingSelection:
+    FRONT = [(0.0, 10.0), (1.0, 8.9), (1.1, 8.8), (5.0, 5.0), (10.0, 0.0)]
+
+    def test_extremes_always_survive(self):
+        scores = vector_scores(self.FRONT, KEYS)
+        chosen = crowding_select(scores, 3, KEYS)
+        assert scores[0] in chosen and scores[-1] in chosen
+        assert len(chosen) == 3
+
+    def test_dense_cluster_is_dropped_first(self):
+        scores = vector_scores(self.FRONT, KEYS)
+        chosen = crowding_select(scores, 4, KEYS)
+        # (1.0, 8.9) and (1.1, 8.8) crowd each other; only one survives.
+        assert sum(1 for s in chosen if s in scores[1:3]) == 1
+
+    def test_selection_preserves_input_order(self):
+        scores = vector_scores(self.FRONT, KEYS)
+        chosen = crowding_select(scores, 4, KEYS)
+        indexes = [scores.index(s) for s in chosen]
+        assert indexes == sorted(indexes)
+
+    def test_budget_covering_everything_is_identity(self):
+        scores = vector_scores(self.FRONT, KEYS)
+        assert crowding_select(scores, len(scores), KEYS) == scores
+
+    def test_tiny_fronts_are_all_infinite_distance(self):
+        scores = vector_scores([(1.0, 2.0), (2.0, 1.0)], KEYS)
+        assert crowding_distances(scores, KEYS) == [float("inf")] * 2
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            crowding_select([], 0, KEYS)

@@ -1,5 +1,7 @@
 """Tests for the declarative design space and its sampling."""
 
+import itertools
+
 import pytest
 
 from repro.common.config import ProcessorConfig, scheme_name
@@ -136,6 +138,30 @@ class TestDesignSpace:
         full = space.grid_assignments()
         assert assignments[0] == full[0]
 
+    def test_strided_grid_matches_product_walk(self):
+        # The mixed-radix decoder must reproduce the original
+        # implementation exactly: the evenly strided subset of a full
+        # itertools.product enumeration.
+        for space in (tiny_space(), default_space(["gzip", "swim", "mcf"])):
+            total = len(space)
+            names = [d.name for d in space.dimensions]
+            product = [
+                dict(zip(names, combo))
+                for combo in itertools.product(*(d.values for d in space.dimensions))
+            ]
+            for limit in (1, 2, 5, 12, total - 1, total, total + 10):
+                wanted = sorted({i * total // limit for i in range(min(limit, total))})
+                reference = (
+                    product
+                    if limit >= total
+                    else [product[i] for i in wanted]
+                )
+                assert space.grid_assignments(limit) == reference, limit
+
+    def test_grid_limit_zero_and_negative_are_empty(self):
+        assert tiny_space().grid_assignments(0) == []
+        assert tiny_space().grid_assignments(-3) == []
+
     def test_sampling_is_deterministic_per_seed(self):
         space = tiny_space()
         assert space.sample("mixed", 8, 11) == space.sample("mixed", 8, 11)
@@ -158,3 +184,84 @@ class TestDesignSpace:
         kinds = dict((d.name, d) for d in space.dimensions)["kind"].values
         assert set(kinds) == {"conventional", "issuefifo", "latfifo", "mixbuff"}
         assert len(space.expand(space.sample("random", 16, 3))) > 0
+
+
+def aggregate_space(benchmarks=("gzip", "streampump")):
+    return DesignSpace(
+        [
+            Dimension("kind", ("conventional", "issuefifo"), ordinal=False),
+            Dimension("int_queues", (4, 8)),
+            Dimension("int_entries", (4, 8)),
+        ],
+        aggregate_benchmarks=tuple(benchmarks),
+    )
+
+
+class TestAggregateSpace:
+    def test_rejects_empty_and_duplicate_sets(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace([Dimension("int_queues", (4, 8))], aggregate_benchmarks=())
+        with pytest.raises(ConfigurationError):
+            DesignSpace(
+                [Dimension("int_queues", (4, 8))],
+                aggregate_benchmarks=("gzip", "gzip"),
+            )
+
+    def test_rejects_benchmark_dimension_alongside_aggregation(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace(
+                [
+                    Dimension("int_queues", (4, 8)),
+                    Dimension("benchmark", ("gzip",), ordinal=False),
+                ],
+                aggregate_benchmarks=("gzip", "mcf"),
+            )
+
+    def test_points_carry_the_suite(self):
+        space = aggregate_space()
+        point = space.build_point(
+            {"kind": "issuefifo", "int_queues": 8, "int_entries": 4}
+        )
+        assert point.benchmarks == ("gzip", "streampump")
+        assert point.benchmark == "suite:gzip+streampump"
+        assert point.benchmark in point.label
+        point.config.validate()
+
+    def test_long_suites_get_a_digest_token(self):
+        from repro.workloads.suites import FP_BENCHMARKS, INT_BENCHMARKS
+
+        names = tuple(INT_BENCHMARKS + FP_BENCHMARKS)
+        point = aggregate_space(names).build_point(
+            {"kind": "issuefifo", "int_queues": 8, "int_entries": 4}
+        )
+        assert point.benchmark.startswith(f"suite:{len(names)}bench-")
+        assert len(point.benchmark) < 30
+
+    def test_point_id_depends_on_the_suite(self):
+        assignment = {"kind": "issuefifo", "int_queues": 8, "int_entries": 4}
+        a = aggregate_space(("gzip", "mcf")).build_point(assignment)
+        b = aggregate_space(("gzip", "swim")).build_point(assignment)
+        assert a.point_id != b.point_id
+        assert a.config == b.config
+
+    def test_describe_includes_the_aggregation_set(self):
+        described = aggregate_space().describe()
+        assert described["aggregate_benchmarks"] == ["gzip", "streampump"]
+        assert "benchmark" not in described
+
+    def test_neighborhood_never_perturbs_the_suite(self):
+        space = aggregate_space()
+        base = {"kind": "issuefifo", "int_queues": 4, "int_entries": 4}
+        variants = space.neighborhood(base, 0, make_rng(3, "n"))
+        assert variants
+        for variant in variants:
+            assert set(variant) == set(base)
+
+    def test_default_space_aggregate_mode(self):
+        space = default_space(["gzip", "mcf"], aggregate=True)
+        assert space.aggregate_benchmarks == ("gzip", "mcf")
+        assert "benchmark" not in {d.name for d in space.dimensions}
+        assert len(space.expand(space.sample("mixed", 8, 3))) > 0
+
+    def test_axis_space_has_empty_aggregation(self):
+        assert default_space(["gzip"]).aggregate_benchmarks == ()

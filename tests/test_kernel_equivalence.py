@@ -25,7 +25,7 @@ from repro.experiments import IF_DISTR, IQ_64_64, MB_DISTR
 from repro.experiments.runner import RunScale, simulate_pair
 from repro.workloads.generator import generate_trace
 from repro.workloads.prewarm import prewarm
-from repro.workloads.suites import get_profile
+from repro.workloads.suites import STRESS_BENCHMARKS, get_profile
 
 LATFIFO_8x8_8x16 = IssueSchemeConfig(
     kind="latfifo", int_queues=8, int_queue_entries=8,
@@ -76,6 +76,36 @@ class TestKernelEquivalence:
             prewarm(processor.hierarchy, profile, 3)
             results[kernel] = processor.run().to_dict()
         assert results[KERNEL_NAIVE] == results[KERNEL_SKIP]
+
+
+# The exploration stress scenarios exercise behaviours (serial pointer
+# chasing, hostile branches, maximal chain churn, phase mixing) outside
+# the SPEC stand-ins' envelope; the skip kernel must stay bit-identical
+# there too (ROADMAP "keeping new components skip-safe").
+STRESS_MATRIX = [
+    (benchmark, _RNG.choice((800, 1200)), _RNG.randrange(1, 1000))
+    for benchmark in STRESS_BENCHMARKS
+]
+
+
+class TestStressProfileKernelEquivalence:
+    @pytest.mark.parametrize("scheme_name", sorted(ALL_SCHEMES))
+    @pytest.mark.parametrize("bench,length,seed", STRESS_MATRIX)
+    def test_bit_identical_stats(self, scheme_name, bench, length, seed):
+        scheme = ALL_SCHEMES[scheme_name]
+        naive, __ = _run(bench, length, seed, scheme, KERNEL_NAIVE)
+        skipping, __ = _run(bench, length, seed, scheme, KERNEL_SKIP)
+        assert naive.to_dict() == skipping.to_dict()
+
+    def test_skip_kernel_skips_on_pointer_chasing(self):
+        # ptrchase is the repo's best case for cycle skipping: long
+        # memory-bound drains with a quiescent machine.
+        __, processor = _run("ptrchase", 1200, 11, IQ_64_64, KERNEL_SKIP)
+        telemetry = processor.kernel_telemetry
+        assert telemetry.skipped_cycles > 0
+        assert telemetry.total_cycles == (
+            telemetry.executed_cycles + telemetry.skipped_cycles
+        )
 
 
 class TestReadyBoundShortCircuit:
