@@ -33,10 +33,24 @@ stage code and must be bit-identical in every reported statistic:
     (``tests/test_kernel_equivalence.py`` and the golden-stats net
     enforce this).
 
+    Pure-broadcast drain spans extend the wheel: while every issue
+    queue is empty a pending result broadcast cannot wake anything — its
+    only effect is wakeup-energy accounting that is a pure function of
+    the broadcast count — so such broadcasts are *deferred* off the
+    wheel, the span jumps over them, and their accounting is replayed in
+    closed form (:meth:`Processor.drain_broadcasts`), still bit-identical.
+
+``sampled`` (:func:`run_sampled`)
+    Not a kernel but a third *execution mode*: detailed simulation of
+    systematically chosen trace slices (driven through ``run_kernel``),
+    functional fast-forward between them, statistics as error-bounded
+    estimates. See :mod:`repro.sampling`.
+
 Telemetry: each run fills ``processor.kernel_telemetry`` and the
 process-wide :data:`GLOBAL_TELEMETRY` accumulator with the number of
-cycles actually executed vs. skipped, so benchmarks can report how much
-simulated time the event wheel jumped over.
+cycles actually executed vs. skipped (and broadcast cycles drained in
+closed form), so benchmarks can report how much simulated time the
+event wheel jumped over.
 """
 
 from __future__ import annotations
@@ -56,16 +70,23 @@ __all__ = [
     "run_kernel",
     "run_naive",
     "run_skipping",
+    "run_sampled",
 ]
 
 
 @dataclass
 class KernelTelemetry:
-    """How a run's simulated cycles were covered."""
+    """How a run's simulated cycles were covered.
+
+    ``drained_broadcasts`` counts broadcast cycles accounted in closed
+    form inside skipped spans (pure-broadcast drain spans) — cycles the
+    naive kernel would have executed solely to accrue wakeup energy.
+    """
 
     executed_cycles: int = 0
     skipped_cycles: int = 0
     skip_spans: int = 0
+    drained_broadcasts: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -76,17 +97,20 @@ class KernelTelemetry:
             "executed_cycles": self.executed_cycles,
             "skipped_cycles": self.skipped_cycles,
             "skip_spans": self.skip_spans,
+            "drained_broadcasts": self.drained_broadcasts,
         }
 
     def merge(self, other: "KernelTelemetry") -> None:
         self.executed_cycles += other.executed_cycles
         self.skipped_cycles += other.skipped_cycles
         self.skip_spans += other.skip_spans
+        self.drained_broadcasts += other.drained_broadcasts
 
     def reset(self) -> None:
         self.executed_cycles = 0
         self.skipped_cycles = 0
         self.skip_spans = 0
+        self.drained_broadcasts = 0
 
 
 #: Process-wide accumulator across every run in this process (workers
@@ -139,7 +163,10 @@ def run_skipping(processor, total: int, max_cycles: int, warmup_instructions: in
             continue
         # The cycle just executed was quiescent. Find the next cycle at
         # which any stage's decision could differ from replaying it.
-        target = processor.next_event_cycle(cycle)
+        # Inert result broadcasts (nothing resident in any issue queue
+        # to wake) are deferred off the wheel: the span may jump over
+        # them and their wakeup accounting replays in closed form below.
+        target = processor.next_event_cycle(cycle, defer_inert_broadcasts=True)
         if target is None:
             # Quiescent with nothing scheduled: the naive kernel would
             # spin to max_cycles and raise; fail fast instead.
@@ -163,6 +190,12 @@ def run_skipping(processor, total: int, max_cycles: int, warmup_instructions: in
         span = min(target, max_cycles + 1) - cycle
         if span > 0:
             processor.advance_idle(before, span)
+            # Replay any inert broadcasts inside the span *after* the
+            # measured-delta accounting, so their wakeup events accrue
+            # once each rather than being multiplied into the interval.
+            telemetry.drained_broadcasts += processor.drain_broadcasts(
+                cycle, cycle + span
+            )
             cycle += span
             telemetry.skipped_cycles += span
             telemetry.skip_spans += 1
@@ -171,6 +204,79 @@ def run_skipping(processor, total: int, max_cycles: int, warmup_instructions: in
 
 
 _KERNELS = {KERNEL_NAIVE: run_naive, KERNEL_SKIP: run_skipping}
+
+
+def run_sampled(
+    config,
+    trace,
+    plan,
+    measure_begin: int,
+    measure_end: int,
+    profile=None,
+    prewarm_seed=None,
+    checkpoints=None,
+):
+    """Sampled execution mode: fast-forward between detailed slices.
+
+    The full-trace kernels above simulate every committed instruction in
+    detail; this mode simulates only the plan's measurement slices
+    (detailed warm-up included) through :func:`run_kernel` on
+    re-sequenced sub-traces, and covers the gaps with *functional*
+    fast-forward — caches and branch predictor stay architecturally warm
+    via :class:`repro.sampling.ffwd.FunctionalWarmer`, with snapshots
+    optionally checkpointed so later runs resume instead of re-warming.
+
+    ``[measure_begin, measure_end)`` is the committed-instruction region
+    the estimates must cover (the full run's post-warm-up portion).
+    Returns ``(windows, slice_stats, telemetry)``: the detailed windows,
+    one :class:`~repro.common.stats.SimulationStats` per slice, and the
+    merged :class:`KernelTelemetry` of the detailed windows only — the
+    honest count of cycles that were actually simulated.
+
+    Statistics are *estimates*, not bit-identical to a full run — which
+    is why this is an execution mode with its own result-cache identity
+    (the sampling plan hashes into the key), not a third kernel.
+    """
+    from repro.core.processor import Processor
+    from repro.sampling.ffwd import FunctionalWarmer, slice_trace
+
+    windows = plan.slice_windows(measure_begin, measure_end)
+    warmer = FunctionalWarmer(
+        config,
+        trace,
+        profile=profile,
+        prewarm_seed=prewarm_seed,
+        checkpoints=checkpoints,
+    )
+    # Each slice trace extends past the measured window by one pipeline's
+    # worth of instructions and the run stops mid-flight at the window's
+    # committed count, so measurement starts *and* ends against a full
+    # pipeline — without the tail, the forced end-of-trace drain starves
+    # issue-side event rates by the in-flight backlog, which is huge
+    # relative to a short slice.
+    tail = config.rob_entries + 2 * config.fetch_queue_entries
+    slices = []
+    detailed = KernelTelemetry()
+    for window in windows:
+        state = warmer.state_at(window.detail_start)
+        stop = window.detail_end - window.detail_start
+        processor = Processor(
+            config,
+            slice_trace(
+                trace,
+                window.detail_start,
+                min(window.detail_end + tail, len(trace)),
+            ),
+        )
+        processor.hierarchy.restore_state(state.hierarchy)
+        processor.predictor.restore_state(state.predictor)
+        slices.append(
+            processor.run(
+                warmup_instructions=window.warmup, total_instructions=stop
+            )
+        )
+        detailed.merge(processor.kernel_telemetry)
+    return windows, slices, detailed
 
 
 def run_kernel(processor, kernel: str, total: int, max_cycles: int,

@@ -5,6 +5,7 @@ Command line::
     python -m repro.experiments.campaign [--scale N] [--figures 2,3,8]
         [--schemes IQ_64_64,IF_distr] [--workers N]
         [--benchmarks int|fp|all] [--kernel naive|skip]
+        [--sampling [SPEC]] [--sampling-validate] [--list]
         [--cache-dir DIR] [--no-cache]
         [--output json|csv] [--output-path FILE]
 
@@ -36,6 +37,20 @@ each figure's native mapping shape under ``figure_<n>`` keys; CSV
 flattens every figure into ``(figure, title, series/column/row, value)``
 records. ``--output-path`` overrides the default ``campaign.json`` /
 ``campaign.csv``.
+
+``--sampling [SPEC]`` switches every simulation to the checkpointed
+sampled execution mode (:mod:`repro.sampling`): figures are computed
+from error-bounded estimates at a fraction of the detailed cycles. SPEC
+is ``key=value,...`` over ``mode, slices, slice, warmup, confidence,
+seed, error`` (bare ``--sampling`` = plan defaults). Adding
+``--sampling-validate`` instead runs every selected benchmark *both*
+full and sampled under the Section 4 baseline and prints the
+sampled-vs-full IPC error per benchmark against the plan's error bound
+and confidence interval — exiting nonzero if any benchmark violates the
+bound, which is the CI gate for the sampling contract.
+
+``--list`` prints the campaign's catalog — benchmarks per suite, figure
+numbers with titles, scheme names and simulation kernels — and exits.
 """
 
 from __future__ import annotations
@@ -44,12 +59,21 @@ import argparse
 import time
 from typing import Callable, Dict, List
 
-from repro.common.config import scheme_name
+from repro.common.config import VALID_KERNELS, scheme_name
+from repro.common.errors import ConfigurationError
 from repro.core import engine
 from repro.experiments import figures as fig_mod
-from repro.experiments.report import render_breakdown, render_series, render_table
+from repro.experiments.configs import IQ_64_64
+from repro.experiments.report import (
+    render_breakdown,
+    render_listing,
+    render_series,
+    render_table,
+)
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.experiments.store import ResultStore, default_cache_dir
+from repro.sampling import SamplingPlan
+from repro.workloads.suites import FP_BENCHMARKS, INT_BENCHMARKS, STRESS_BENCHMARKS
 
 __all__ = [
     "run_campaign",
@@ -58,6 +82,8 @@ __all__ = [
     "figures_for_suite",
     "figure_rows",
     "export_campaign",
+    "render_catalog",
+    "sampling_validation",
 ]
 
 _SERIES_FIGURES = {2, 3, 4, 6}
@@ -147,6 +173,80 @@ def export_campaign(
     return str(write_csv(path, rows))
 
 
+def render_catalog() -> str:
+    """The campaign's discoverable inputs, as a deterministic listing.
+
+    Scheme names are collected from the full figure matrix, so the list
+    is exactly what ``--schemes`` accepts; the stress benchmarks are
+    listed too because the shared profile registry (and the exploration
+    CLI) accepts them even though no paper figure uses them.
+    """
+    schemes = sorted(
+        {scheme_name(scheme) for __, scheme in fig_mod.required_runs(ALL_FIGURES)}
+    )
+    return render_listing(
+        "Campaign catalog",
+        {
+            "benchmarks (int)": INT_BENCHMARKS,
+            "benchmarks (fp)": FP_BENCHMARKS,
+            "benchmarks (stress, exploration-only)": STRESS_BENCHMARKS,
+            "figures": [f"{number}: {_TITLES[number]}" for number in ALL_FIGURES],
+            "schemes": schemes,
+            "kernels": list(VALID_KERNELS),
+            "execution modes": ["full (default)", "sampled (--sampling)"],
+        },
+    )
+
+
+def sampling_validation(
+    scale: RunScale,
+    store,
+    plan: SamplingPlan,
+    benchmarks: List[str],
+    workers: int = 0,
+    kernel: str = None,
+) -> Dict[str, Dict[str, float]]:
+    """Sampled-vs-full error per benchmark under the Section 4 baseline.
+
+    Runs each benchmark twice — full detailed simulation and the sampled
+    execution mode — through two runners sharing the same store (the
+    plan keeps their keys disjoint), and reports per benchmark: both
+    IPCs, the relative error in percent, the reported confidence-
+    interval halfwidth in percent, the plan's bound, and the fraction of
+    instructions the sampled run simulated in detail.
+    """
+    full_runner = ExperimentRunner(scale, store=store, workers=workers, kernel=kernel)
+    sampled_runner = ExperimentRunner(
+        scale, store=store, workers=workers, kernel=kernel, sampling=plan
+    )
+    pairs = [(benchmark, IQ_64_64) for benchmark in benchmarks]
+    full_runner.prefetch(pairs, workers=workers)
+    sampled_runner.prefetch(pairs, workers=workers)
+    table: Dict[str, Dict[str, float]] = {
+        "full_ipc": {},
+        "sampled_ipc": {},
+        "err_pct": {},
+        "ci_pct": {},
+        "bound_pct": {},
+        "detail_pct": {},
+    }
+    for benchmark in benchmarks:
+        full = full_runner.run(benchmark, IQ_64_64)
+        sampled = sampled_runner.sampled_result(benchmark, IQ_64_64)
+        estimate = sampled.estimates["ipc"]
+        table["full_ipc"][benchmark] = full.ipc
+        table["sampled_ipc"][benchmark] = estimate.mean
+        table["err_pct"][benchmark] = (
+            100.0 * abs(estimate.mean - full.ipc) / full.ipc
+        )
+        table["ci_pct"][benchmark] = 100.0 * estimate.relative_halfwidth
+        table["bound_pct"][benchmark] = 100.0 * plan.target_relative_error
+        table["detail_pct"][benchmark] = (
+            100.0 * sampled.detailed_instructions / scale.num_instructions
+        )
+    return table
+
+
 def run_campaign(
     runner: ExperimentRunner,
     figure_numbers: List[int],
@@ -198,6 +298,24 @@ def main(argv: List[str] = None) -> None:
                         help="simulation kernel: event-driven cycle "
                              "skipping (default) or the naive per-cycle "
                              "loop; results are bit-identical")
+    parser.add_argument("--sampling", type=str, nargs="?", const="",
+                        default=None, metavar="SPEC",
+                        help="sampled execution mode: statistics become "
+                             "error-bounded estimates from detailed slices "
+                             "+ functional fast-forward. SPEC is "
+                             "key=value,... over mode,slices,slice,warmup,"
+                             "confidence,seed,error (bare --sampling = "
+                             "plan defaults)")
+    parser.add_argument("--sampling-validate", action="store_true",
+                        help="with --sampling: simulate every selected "
+                             "benchmark full AND sampled under the "
+                             "baseline scheme, print the per-benchmark "
+                             "sampled-vs-full IPC error table, and exit "
+                             "nonzero if any benchmark violates the "
+                             "plan's relative-error bound")
+    parser.add_argument("--list", action="store_true",
+                        help="print available benchmarks, figures, schemes "
+                             "and kernels, then exit")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result-store directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-abella04)")
@@ -213,8 +331,27 @@ def main(argv: List[str] = None) -> None:
                              "campaign.json / campaign.csv)")
     args = parser.parse_args(argv)
 
+    if args.list:
+        print(render_catalog())
+        return
+
     if args.output_path and not args.output:
         parser.error("--output-path requires --output json|csv")
+
+    plan = None
+    if args.sampling is not None:
+        try:
+            plan = SamplingPlan.from_spec(args.sampling)
+        except ConfigurationError as exc:
+            parser.error(f"--sampling: {exc}")
+    if args.sampling_validate:
+        if plan is None:
+            parser.error("--sampling-validate requires --sampling")
+        if args.schemes or args.output or args.figures:
+            parser.error(
+                "--sampling-validate is a standalone mode; it cannot be "
+                "combined with --figures, --schemes or --output"
+            )
 
     if args.figures:
         try:
@@ -246,10 +383,49 @@ def main(argv: List[str] = None) -> None:
         scale.validate()
     except ValueError as exc:
         parser.error(f"--scale {args.scale}: {exc}")
-    runner = ExperimentRunner(scale, store=store, workers=args.workers,
-                              kernel=args.kernel)
+    if plan is not None:
+        try:
+            # Fail fast if the plan does not fit the actual run scale's
+            # measured region (everything past the scale's warm-up).
+            plan.slice_windows(scale.warmup_instructions, scale.num_instructions)
+        except ConfigurationError as exc:
+            parser.error(f"--sampling: {exc}")
     engine.GLOBAL_TELEMETRY.reset()
     started = time.perf_counter()
+    if args.sampling_validate:
+        if args.benchmarks == "int":
+            benchmarks = list(INT_BENCHMARKS)
+        elif args.benchmarks == "fp":
+            benchmarks = list(FP_BENCHMARKS)
+        else:
+            benchmarks = list(INT_BENCHMARKS) + list(FP_BENCHMARKS)
+        table = sampling_validation(
+            scale, store, plan, benchmarks,
+            workers=args.workers, kernel=args.kernel,
+        )
+        print(render_table(
+            "Sampled vs full IPC (baseline IQ_64_64)", table
+        ))
+        violations = [
+            benchmark
+            for benchmark in benchmarks
+            if table["err_pct"][benchmark] > table["bound_pct"][benchmark]
+        ]
+        elapsed = time.perf_counter() - started
+        print()
+        if violations:
+            print(
+                f"error-bound VIOLATED on {len(violations)}/{len(benchmarks)} "
+                f"benchmarks ({','.join(violations)}) in {elapsed:.1f}s"
+            )
+            raise SystemExit(1)
+        print(
+            f"error-bound OK: all {len(benchmarks)} benchmarks within "
+            f"{100.0 * plan.target_relative_error:.1f}% in {elapsed:.1f}s"
+        )
+        return
+    runner = ExperimentRunner(scale, store=store, workers=args.workers,
+                              kernel=args.kernel, sampling=plan)
     if args.schemes and args.no_cache:
         parser.error(
             "--schemes is a warm-only sweep (it renders nothing); combining it "
@@ -302,6 +478,25 @@ def main(argv: List[str] = None) -> None:
             f"kernel [{args.kernel}]: {kernel_tel.executed_cycles} cycles "
             f"executed, {kernel_tel.skipped_cycles} skipped "
             f"({skipped_pct:.1f}%) in {kernel_tel.skip_spans} spans"
+            + (
+                f", {kernel_tel.drained_broadcasts} broadcasts drained"
+                if kernel_tel.drained_broadcasts
+                else ""
+            )
+        )
+    if plan is not None:
+        detailed = sum(
+            window.detail_end - window.detail_start
+            for window in plan.slice_windows(
+                scale.warmup_instructions, scale.num_instructions
+            )
+        )
+        print(
+            f"sampling [{plan.mode}]: {plan.num_slices} slices x "
+            f"{plan.slice_instructions} (+{plan.warmup_instructions} warm-up) "
+            f"per run — {detailed} of {args.scale} "
+            f"instructions detailed, confidence {plan.confidence:.2f}, "
+            f"target error {100.0 * plan.target_relative_error:.1f}%"
         )
 
 

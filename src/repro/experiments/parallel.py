@@ -65,24 +65,46 @@ def _load_worker_trace(benchmark: str, scale, trace_dir: Optional[str]):
     return trace
 
 
-def _simulate_to_payload(
-    job: Tuple[str, _SchemeOrConfig, "RunScale", Optional[str], Optional[str]]
-) -> dict:
-    """Worker entry point: simulate one pair, return stats + telemetry."""
+def _simulate_to_payload(job: tuple) -> dict:
+    """Worker entry point: simulate one pair, return stats + telemetry.
+
+    Sampled jobs (a non-``None`` plan in the job tuple) run the sampled
+    execution mode and additionally carry the estimate record — the same
+    JSON representation the disk store persists.
+    """
     # Imported here (not at module top) so the parent's import of this
     # module stays cheap and spawn-based workers re-import lazily.
-    from repro.experiments.runner import simulate_pair
+    from repro.experiments.runner import simulate_pair, simulate_sampled_pair
 
-    benchmark, scheme, scale, kernel, trace_dir = job
+    benchmark, scheme, scale, kernel, trace_dir, sampling, checkpoint_dir = job
     trace = _load_worker_trace(benchmark, scale, trace_dir)
     before = engine.GLOBAL_TELEMETRY.as_dict()
-    stats, trace = simulate_pair(benchmark, scheme, scale, trace=trace, kernel=kernel)
+    sampled_payload = None
+    if sampling is not None:
+        sampled, trace = simulate_sampled_pair(
+            benchmark,
+            scheme,
+            scale,
+            sampling,
+            trace=trace,
+            kernel=kernel,
+            checkpoint_dir=checkpoint_dir,
+        )
+        stats = sampled.stats
+        sampled_payload = sampled.to_dict()
+    else:
+        stats, trace = simulate_pair(
+            benchmark, scheme, scale, trace=trace, kernel=kernel
+        )
     after = engine.GLOBAL_TELEMETRY.as_dict()
     _WORKER_TRACES[(benchmark, scale.num_instructions, scale.seed)] = trace
-    return {
+    payload = {
         "stats": stats.to_dict(),
         "telemetry": {name: after[name] - before[name] for name in after},
     }
+    if sampled_payload is not None:
+        payload["sampled"] = sampled_payload
+    return payload
 
 
 def simulate_matrix(
@@ -91,13 +113,23 @@ def simulate_matrix(
     workers: int,
     kernel: Optional[str] = None,
     trace_dir: Optional[str] = None,
-) -> List[SimulationStats]:
+    sampling=None,
+    checkpoint_dir: Optional[str] = None,
+) -> List:
     """Simulate every (benchmark, scheme) pair; results in input order.
 
     With ``workers <= 1`` (or a single pair) everything runs in-process
     through the same worker function, so both paths are byte-identical by
     construction. With ``trace_dir`` set, each unique trace is
     materialized there once up front and shared by every worker.
+
+    ``sampling`` (a :class:`~repro.sampling.plan.SamplingPlan`) switches
+    every job to the sampled execution mode; the return value is then a
+    list of :class:`~repro.sampling.estimator.SampledStats` (estimate
+    record plus synthesized stats) instead of plain
+    :class:`SimulationStats`, and ``checkpoint_dir`` shares warm-state
+    checkpoints across the fleet (atomic writes make concurrent workers
+    safe).
     """
     if trace_dir is not None:
         from repro.workloads.spill import materialize_trace
@@ -108,7 +140,8 @@ def simulate_matrix(
                 trace_dir, get_profile(benchmark), scale.num_instructions, scale.seed
             )
     jobs = [
-        (benchmark, scheme, scale, kernel, trace_dir) for benchmark, scheme in pairs
+        (benchmark, scheme, scale, kernel, trace_dir, sampling, checkpoint_dir)
+        for benchmark, scheme in pairs
     ]
     workers = min(worker_count(workers), len(jobs)) if jobs else 0
     if workers <= 1:
@@ -123,4 +156,13 @@ def simulate_matrix(
             worker_tel = payload.pop("telemetry", None)
             if worker_tel:
                 engine.GLOBAL_TELEMETRY.merge(engine.KernelTelemetry(**worker_tel))
+    if sampling is not None:
+        from repro.sampling.estimator import SampledStats
+
+        return [
+            SampledStats.from_dict(
+                payload["sampled"], SimulationStats.from_dict(payload["stats"])
+            )
+            for payload in payloads
+        ]
     return [SimulationStats.from_dict(payload["stats"]) for payload in payloads]

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Sequence
 
-__all__ = ["render_series", "render_table", "render_breakdown"]
+__all__ = ["render_series", "render_table", "render_breakdown", "render_listing"]
 
 
 def render_series(title: str, series: Mapping[str, float], unit: str = "%") -> str:
@@ -42,6 +42,20 @@ def render_table(
             else:
                 cells.append(f"{value_format.format(value):>{col_width}}")
         lines.append(f"  {row:<{row_width}}" + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_listing(title: str, sections: Mapping[str, Sequence[str]]) -> str:
+    """Render named groups of plain strings (the campaign's ``--list``).
+
+    Each section is one labelled group; entries render one per line,
+    preserving input order, so the output is deterministic and greppable.
+    """
+    lines = [title]
+    for section, entries in sections.items():
+        lines.append(f"  {section}:")
+        for entry in entries:
+            lines.append(f"    {entry}")
     return "\n".join(lines)
 
 

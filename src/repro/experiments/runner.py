@@ -43,6 +43,7 @@ __all__ = [
     "SchemeOrConfig",
     "resolve_config",
     "simulate_pair",
+    "simulate_sampled_pair",
 ]
 
 #: Everywhere the experiments layer takes "what to simulate", it accepts
@@ -125,6 +126,58 @@ def simulate_pair(
     return stats, trace
 
 
+def simulate_sampled_pair(
+    benchmark: str,
+    scheme: SchemeOrConfig,
+    scale: RunScale,
+    sampling,
+    trace: Optional[Trace] = None,
+    kernel: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+):
+    """Sampled-mode sibling of :func:`simulate_pair`.
+
+    Runs the :func:`repro.core.engine.run_sampled` execution mode over
+    the same trace and measured region a full run would use: detailed
+    slices per ``sampling`` (a :class:`~repro.sampling.plan.SamplingPlan`),
+    functional fast-forward between them, warm-state checkpoints under
+    ``checkpoint_dir`` when given. Returns ``(sampled, trace)`` where
+    ``sampled`` is a :class:`~repro.sampling.estimator.SampledStats` —
+    its ``.stats`` is the synthesized whole-run statistics object that
+    caches and figure generators consume.
+    """
+    from repro.core import engine
+    from repro.sampling.checkpoints import CheckpointStore
+    from repro.sampling.estimator import estimate_sampled
+
+    profile = get_profile(benchmark)
+    if trace is None:
+        trace = generate_trace(profile, scale.num_instructions, seed=scale.seed)
+    config = resolve_config(scheme)
+    if kernel is not None:
+        config = config.with_kernel(kernel)
+    checkpoints = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    windows, slices, telemetry = engine.run_sampled(
+        config,
+        trace,
+        sampling,
+        scale.warmup_instructions,
+        scale.num_instructions,
+        profile=profile,
+        prewarm_seed=scale.seed,
+        checkpoints=checkpoints,
+    )
+    sampled = estimate_sampled(
+        sampling,
+        config,
+        windows,
+        slices,
+        scale.num_instructions - scale.warmup_instructions,
+        telemetry.executed_cycles,
+    )
+    return sampled, trace
+
+
 class ExperimentRunner:
     """Runs and caches simulations for the figure generators.
 
@@ -136,6 +189,15 @@ class ExperimentRunner:
     kernel for every run this runner executes (``None`` = the config
     default); it never affects cache keys because both kernels are
     bit-identical.
+
+    ``sampling`` switches the runner to the sampled execution mode: a
+    :class:`~repro.sampling.plan.SamplingPlan` makes every simulation a
+    checkpointed sampled run (detailed slices + functional fast-forward)
+    whose statistics are error-bounded *estimates*. The plan hashes into
+    every disk-cache key, so sampled and full results never alias and
+    warm reruns of sampled campaigns replay with zero executions; the
+    per-pair estimate record (confidence intervals included) is cached
+    alongside the stats and available via :meth:`sampled_result`.
     """
 
     def __init__(
@@ -144,9 +206,13 @@ class ExperimentRunner:
         store: Union[ResultStore, None, bool] = None,
         workers: int = 0,
         kernel: Optional[str] = None,
+        sampling=None,
     ) -> None:
         scale.validate()
         self.scale = scale
+        if sampling is not None:
+            sampling.validate()
+        self.sampling = sampling
         if store is None:
             self.store: Optional[ResultStore] = ResultStore.from_env()
         elif store is False:
@@ -160,12 +226,20 @@ class ExperimentRunner:
         self.telemetry = CacheTelemetry()
         self._trace_cache: Dict[str, Trace] = {}
         self._result_cache: Dict[Tuple[str, SchemeOrConfig], SimulationStats] = {}
+        #: Estimate records of sampled runs, keyed like the result cache.
+        self._sampled_cache: Dict[Tuple[str, SchemeOrConfig], object] = {}
 
     def _trace_dir(self) -> Optional[str]:
         """Spill directory for worker-shared traces (disk cache root)."""
         if self.store is None:
             return None
         return str(self.store.root / "traces")
+
+    def _checkpoint_dir(self) -> Optional[str]:
+        """Warm-state checkpoint directory (disk cache root)."""
+        if self.store is None or self.sampling is None:
+            return None
+        return str(self.store.root / "checkpoints")
 
     def trace_for(self, benchmark: str) -> Trace:
         """Trace for a benchmark at this runner's scale (cached)."""
@@ -178,8 +252,17 @@ class ExperimentRunner:
         return self._trace_cache[benchmark]
 
     def store_key(self, benchmark: str, scheme: SchemeOrConfig) -> str:
-        """Content address of this pair's result at this runner's scale."""
-        return result_key(resolve_config(scheme), get_profile(benchmark), self.scale)
+        """Content address of this pair's result at this runner's scale.
+
+        With a sampling plan configured the plan is part of the address,
+        so sampled estimates and full results occupy disjoint keys.
+        """
+        return result_key(
+            resolve_config(scheme),
+            get_profile(benchmark),
+            self.scale,
+            sampling=self.sampling,
+        )
 
     def cache_stats(self) -> Dict[str, int]:
         """Cumulative memory-hit / disk-hit / simulation counts."""
@@ -195,36 +278,98 @@ class ExperimentRunner:
             self.telemetry.memory_hits += 1
             return stats
         if self.store is not None:
-            stats = self.store.load(self.store_key(benchmark, scheme))
-            if stats is not None:
+            loaded = self.store.load_with_extra(self.store_key(benchmark, scheme))
+            if loaded is not None:
+                stats, extra = loaded
+                if self.sampling is not None:
+                    sampled = self._rebuild_sampled(extra, stats)
+                    if sampled is None:
+                        return None  # damaged estimate record: recompute
+                    self._sampled_cache[key] = sampled
                 self.telemetry.disk_hits += 1
                 self._result_cache[key] = stats
                 return stats
         return None
 
+    def _rebuild_sampled(self, extra, stats: SimulationStats):
+        """Reconstruct a cached estimate record; ``None`` if damaged."""
+        from repro.common.errors import ConfigurationError
+        from repro.sampling.estimator import SampledStats
+
+        if extra is None:
+            return None
+        try:
+            return SampledStats.from_dict(extra, stats)
+        except (KeyError, TypeError, ValueError, AttributeError,
+                ConfigurationError):
+            # ConfigurationError covers records whose embedded plan no
+            # longer validates — damage, like the rest: a cache miss.
+            return None
+
     def _record(
-        self, benchmark: str, scheme: SchemeOrConfig, stats: SimulationStats
+        self,
+        benchmark: str,
+        scheme: SchemeOrConfig,
+        stats: SimulationStats,
+        sampled=None,
     ) -> None:
         """File a freshly simulated result into memory and disk layers."""
         self.telemetry.simulations += 1
         self._result_cache[(benchmark, scheme)] = stats
+        if sampled is not None:
+            self._sampled_cache[(benchmark, scheme)] = sampled
         if self.store is not None:
-            self.store.save(self.store_key(benchmark, scheme), stats)
+            self.store.save(
+                self.store_key(benchmark, scheme),
+                stats,
+                extra=sampled.to_dict() if sampled is not None else None,
+            )
+
+    def _simulate(self, benchmark: str, scheme: SchemeOrConfig):
+        """One uncached simulation in the configured execution mode."""
+        if self.sampling is not None:
+            sampled, trace = simulate_sampled_pair(
+                benchmark,
+                scheme,
+                self.scale,
+                self.sampling,
+                trace=self._trace_cache.get(benchmark),
+                kernel=self.kernel,
+                checkpoint_dir=self._checkpoint_dir(),
+            )
+            return sampled.stats, trace, sampled
+        stats, trace = simulate_pair(
+            benchmark,
+            scheme,
+            self.scale,
+            trace=self._trace_cache.get(benchmark),
+            kernel=self.kernel,
+        )
+        return stats, trace, None
 
     def run(self, benchmark: str, scheme: SchemeOrConfig) -> SimulationStats:
         """Simulate one (benchmark, scheme-or-config) pair (cached)."""
         stats = self._lookup(benchmark, scheme)
         if stats is None:
-            stats, trace = simulate_pair(
-                benchmark,
-                scheme,
-                self.scale,
-                trace=self._trace_cache.get(benchmark),
-                kernel=self.kernel,
-            )
+            stats, trace, sampled = self._simulate(benchmark, scheme)
             self._trace_cache[benchmark] = trace
-            self._record(benchmark, scheme, stats)
+            self._record(benchmark, scheme, stats, sampled)
         return stats
+
+    def sampled_result(self, benchmark: str, scheme: SchemeOrConfig):
+        """The pair's :class:`SampledStats` estimate record, or ``None``.
+
+        Only populated when the runner has a sampling plan; :meth:`run`
+        (or a prefetch) must have resolved the pair first. Cache-loaded
+        records are bit-identical to freshly computed ones — floats
+        round-trip exactly through the JSON payload.
+        """
+        if self.sampling is None:
+            return None
+        key = (benchmark, scheme)
+        if key not in self._sampled_cache:
+            self.run(benchmark, scheme)
+        return self._sampled_cache.get(key)
 
     def run_many(
         self,
@@ -256,21 +401,19 @@ class ExperimentRunner:
                     workers,
                     kernel=self.kernel,
                     trace_dir=self._trace_dir(),
+                    sampling=self.sampling,
+                    checkpoint_dir=self._checkpoint_dir(),
                 )
+                for (benchmark, scheme), result in zip(misses, results):
+                    if self.sampling is not None:
+                        self._record(benchmark, scheme, result.stats, result)
+                    else:
+                        self._record(benchmark, scheme, result)
             else:
-                results = []
                 for benchmark, scheme in misses:
-                    stats, trace = simulate_pair(
-                        benchmark,
-                        scheme,
-                        self.scale,
-                        trace=self._trace_cache.get(benchmark),
-                        kernel=self.kernel,
-                    )
+                    stats, trace, sampled = self._simulate(benchmark, scheme)
                     self._trace_cache[benchmark] = trace
-                    results.append(stats)
-            for (benchmark, scheme), stats in zip(misses, results):
-                self._record(benchmark, scheme, stats)
+                    self._record(benchmark, scheme, stats, sampled)
         return [self._result_cache[(b, s)] for b, s in pairs]
 
     def prefetch(

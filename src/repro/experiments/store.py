@@ -42,10 +42,36 @@ from repro.workloads.profiles import WorkloadProfile
 __all__ = [
     "ResultStore",
     "SIMULATOR_VERSION_TAG",
+    "SAMPLING_VERSION_TAG",
     "result_key",
     "default_cache_dir",
     "simulator_sources_digest",
+    "package_sources_digest",
+    "atomic_write_json",
 ]
+
+
+def atomic_write_json(path: Path, payload: dict) -> Path:
+    """Atomically persist ``payload`` as sorted JSON at ``path``.
+
+    Temp file + ``os.replace`` in the destination directory, cleaned up
+    on any failure — the single crash-safe write path shared by the
+    result store and the sampling checkpoint store, so a future
+    hardening (fsync, permissions) lands in one place.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 #: Packages whose sources determine simulated behaviour. Anything that
 #: can change a statistic — pipeline timing, the ISA's op classes and
@@ -63,23 +89,27 @@ _SIMULATOR_PACKAGES = (
 )
 
 
-def simulator_sources_digest() -> str:
-    """SHA-256 over every simulator source file, in a stable order.
+def package_sources_digest(packages) -> str:
+    """SHA-256 over the named ``src/repro`` packages' sources.
 
-    Hashes the relative path and the bytes of each ``*.py`` file under
-    ``src/repro/{common,core,frontend,isa,issue,memory,workloads}``, so
-    *any* edit to simulated behaviour produces a new digest (renames and
-    moves included, since the path is part of the material).
+    Hashes the relative path and the bytes of each ``*.py`` file, in a
+    stable order, so *any* edit produces a new digest (renames and moves
+    included, since the path is part of the material).
     """
     package_root = Path(__file__).resolve().parent.parent  # src/repro
     digest = hashlib.sha256()
-    for package in _SIMULATOR_PACKAGES:
+    for package in packages:
         for path in sorted((package_root / package).rglob("*.py")):
             digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
             digest.update(b"\0")
             digest.update(path.read_bytes())
             digest.update(b"\0")
     return digest.hexdigest()
+
+
+def simulator_sources_digest() -> str:
+    """SHA-256 over every simulator source file (see module docstring)."""
+    return package_sources_digest(_SIMULATOR_PACKAGES)
 
 
 #: Stamped into every cache file and hashed into every key. Derived from
@@ -89,6 +119,17 @@ def simulator_sources_digest() -> str:
 #: not invalidate the cache; that is the point of hashing only the
 #: simulator packages.)
 SIMULATOR_VERSION_TAG = f"abella04-sim-src-{simulator_sources_digest()[:16]}"
+
+#: Hashed into keys of *sampled* results only: slice selection, the
+#: functional fast-forward walk and the estimator live in
+#: ``repro.sampling``, and the estimator additionally bakes
+#: ``repro.energy`` prices into the cached estimate record (full-run
+#: results store raw events and re-price at read time, which is why
+#: ``energy`` stays out of the simulator tag). Edits to either package
+#: must therefore invalidate sampled cache entries — and only those.
+SAMPLING_VERSION_TAG = (
+    f"abella04-sampling-src-{package_sources_digest(('sampling', 'energy'))[:16]}"
+)
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -101,24 +142,32 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-abella04"
 
 
-def result_key(config: ProcessorConfig, profile: WorkloadProfile, scale) -> str:
+def result_key(
+    config: ProcessorConfig, profile: WorkloadProfile, scale, sampling=None
+) -> str:
     """Content address of one simulation result.
 
-    ``scale`` is a :class:`~repro.experiments.runner.RunScale` (taken
-    untyped to avoid a circular import). Any field change anywhere in the
-    inputs — nested config, profile knob, scale, simulator version —
-    produces a different key.
+    ``scale`` is a :class:`~repro.experiments.runner.RunScale` and
+    ``sampling`` an optional :class:`~repro.sampling.plan.SamplingPlan`
+    (both taken untyped to avoid circular imports). Any field change
+    anywhere in the inputs — nested config, profile knob, scale,
+    sampling plan, simulator version — produces a different key; in
+    particular a sampled result can never alias the full-run result of
+    the same pair, and full-run keys are byte-for-byte what they were
+    before sampling existed.
     """
-    material = json.dumps(
-        {
-            "version": SIMULATOR_VERSION_TAG,
-            "config": stable_fingerprint(config),
-            "profile": stable_fingerprint(profile),
-            "scale": stable_fingerprint(scale),
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+    material = {
+        "version": SIMULATOR_VERSION_TAG,
+        "config": stable_fingerprint(config),
+        "profile": stable_fingerprint(profile),
+        "scale": stable_fingerprint(scale),
+    }
+    if sampling is not None:
+        material["sampling"] = stable_fingerprint(sampling)
+        material["sampling_version"] = SAMPLING_VERSION_TAG
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode("utf-8")
+    ).hexdigest()
 
 
 class ResultStore:
@@ -150,6 +199,18 @@ class ResultStore:
         fields, and a simulator version-tag mismatch all read as misses;
         the caller recomputes and overwrites.
         """
+        loaded = self.load_with_extra(key)
+        return loaded[0] if loaded is not None else None
+
+    def load_with_extra(self, key: str):
+        """``(stats, extra)`` for ``key``, or ``None`` on any miss.
+
+        ``extra`` is the optional side payload :meth:`save` stored (the
+        sampled-estimate record), or ``None`` for plain results. Exactly
+        like :meth:`load`, *every* failure mode — truncated file, binary
+        garbage, wrong JSON shape, mis-typed stats or extra fields,
+        version mismatch — reads as a miss, never an exception.
+        """
         try:
             with open(self._path(key), "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
@@ -157,27 +218,25 @@ class ResultStore:
                 return None
             if payload.get("version") != SIMULATOR_VERSION_TAG:
                 return None
-            return SimulationStats.from_dict(payload["stats"])
+            stats = SimulationStats.from_dict(payload["stats"])
+            extra = payload.get("sampled")
+            if extra is not None and not isinstance(extra, dict):
+                return None
+            return stats, extra
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
 
-    def save(self, key: str, stats: SimulationStats) -> Path:
-        """Atomically persist ``stats`` under ``key``; returns the path."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def save(self, key: str, stats: SimulationStats, extra: Optional[dict] = None) -> Path:
+        """Atomically persist ``stats`` under ``key``; returns the path.
+
+        ``extra`` is an optional JSON-serializable side payload stored
+        alongside the stats (sampled runs keep their estimate record
+        there) and returned by :meth:`load_with_extra`.
+        """
         payload = {"version": SIMULATOR_VERSION_TAG, "key": key, "stats": stats.to_dict()}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        if extra is not None:
+            payload["sampled"] = extra
+        return atomic_write_json(self._path(key), payload)
 
     def __len__(self) -> int:
         """Number of cached results on disk."""

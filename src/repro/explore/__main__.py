@@ -6,7 +6,8 @@ Command line::
         [--strategy grid|random|mixed] [--benchmarks GROUP|a,b,c]
         [--aggregate [GROUP|a,b,c]] [--epsilon E] [--frontier-budget N]
         [--scale N] [--workers N] [--kernel naive|skip]
-        [--neighbors N] [--out DIR] [--cache-dir DIR] [--no-cache]
+        [--sampling [SPEC]] [--neighbors N] [--out DIR]
+        [--cache-dir DIR] [--no-cache]
 
 Samples the scheme × geometry × processor × workload space, scores every
 point on the paper's energy/performance objectives against the IQ_64_64
@@ -23,6 +24,15 @@ the artifacts — so the frontier ranks suite-robust geometries, matching
 the paper's cross-SPEC averages. ``--epsilon``/``--frontier-budget``
 enable epsilon-dominance thinning and crowding-distance selection of
 the refinement frontier.
+
+``--sampling`` scores every point from the checkpointed sampled
+execution mode (:mod:`repro.sampling`): objectives become error-bounded
+estimates, the raw-metric confidence bounds ride into ``points.csv``
+(``<metric>.ci_low``/``.ci_high`` columns) and the frontier JSON's
+settings block, and — because warm-state checkpoints are independent of
+the issue scheme — the functional fast-forward is paid once per
+benchmark rather than once per design point. SPEC is the same
+``key=value,...`` plan spec as the campaign CLI.
 
 Every simulation resolves through the campaign cache stack, so a second
 invocation with the same seed reports 0 executions: the artifact is
@@ -90,6 +100,13 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--kernel", choices=("naive", "skip"), default=None,
                         help="simulation kernel override (results are "
                              "bit-identical either way)")
+    parser.add_argument("--sampling", type=str, nargs="?", const="",
+                        default=None, metavar="SPEC",
+                        help="sampled execution mode: score points from "
+                             "error-bounded estimates (plan spec "
+                             "key=value,... as in the campaign CLI; bare "
+                             "--sampling = defaults). Confidence bounds "
+                             "ride into the artifacts")
     parser.add_argument("--neighbors", type=int, default=4,
                         help="neighbourhood samples per frontier point and "
                              "refinement round (default 4)")
@@ -108,6 +125,14 @@ def main(argv: Optional[List[str]] = None) -> None:
         benchmarks = resolve_benchmarks(args.aggregate or args.benchmarks)
     except (ConfigurationError, UnknownBenchmarkError) as exc:
         parser.error(str(exc))
+    sampling = None
+    if args.sampling is not None:
+        from repro.sampling import SamplingPlan
+
+        try:
+            sampling = SamplingPlan.from_spec(args.sampling)
+        except ConfigurationError as exc:
+            parser.error(f"--sampling: {exc}")
     settings = ExplorationSettings(
         samples=args.samples,
         rounds=args.rounds,
@@ -121,6 +146,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         aggregate=args.aggregate is not None,
         epsilon=args.epsilon,
         frontier_budget=args.frontier_budget,
+        sampling=sampling,
     )
     try:
         settings.validate()

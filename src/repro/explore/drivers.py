@@ -96,6 +96,13 @@ class ExplorationSettings:
     epsilon-dominance thinning and crowding-distance selection; their
     defaults disable both, and :meth:`as_dict` omits defaulted knobs so
     pre-existing artifacts stay byte-identical.
+
+    ``sampling`` (a :class:`~repro.sampling.plan.SamplingPlan`) switches
+    every simulation to the checkpointed sampled execution mode:
+    objectives are scored from error-bounded estimates, confidence
+    intervals ride into the artifacts, and — because warm-state
+    checkpoints are scheme-independent — a big exploration pays the
+    fast-forward once per benchmark, not once per point.
     """
 
     samples: int = 32
@@ -110,6 +117,7 @@ class ExplorationSettings:
     aggregate: bool = False
     epsilon: float = 0.0
     frontier_budget: Optional[int] = None
+    sampling: Optional[object] = None
 
     def validate(self) -> None:
         if self.samples < 1:
@@ -124,6 +132,14 @@ class ExplorationSettings:
             raise ConfigurationError("epsilon cannot be negative")
         if self.frontier_budget is not None and self.frontier_budget < 1:
             raise ConfigurationError("frontier budget must be at least 1")
+        if self.sampling is not None:
+            self.sampling.validate()
+            # Fail before any simulation if the plan cannot fit the
+            # exploration's actual measured region.
+            scale = self.scale()
+            self.sampling.slice_windows(
+                scale.warmup_instructions, scale.num_instructions
+            )
 
     def scale(self) -> RunScale:
         return RunScale(
@@ -148,6 +164,8 @@ class ExplorationSettings:
             settings["epsilon"] = self.epsilon
         if self.frontier_budget is not None:
             settings["frontier_budget"] = self.frontier_budget
+        if self.sampling is not None:
+            settings["sampling"] = self.sampling.as_dict()
         return settings
 
 
@@ -212,6 +230,7 @@ def run_exploration(
         store=store,
         workers=settings.workers,
         kernel=settings.kernel,
+        sampling=settings.sampling,
     )
     if space.aggregate_benchmarks:
         scorer: ObjectiveScorer = SuiteAggregator(runner, space.aggregate_benchmarks)

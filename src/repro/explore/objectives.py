@@ -66,6 +66,11 @@ class PointScore:
     one sub-score record per benchmark in suite order (ipc, baseline
     ipc and the four per-benchmark objectives), so artifacts can show
     which workloads a suite-robust point wins and loses.
+
+    ``intervals`` is only populated when scoring runs in the sampled
+    execution mode: the point config's raw-metric confidence bounds
+    (``{metric: {"low", "high"}}``) as reported by the estimator, so
+    artifacts carry the uncertainty alongside the point estimates.
     """
 
     point: DesignPoint
@@ -73,12 +78,16 @@ class PointScore:
     baseline_ipc: float
     objectives: Dict[str, float]
     per_benchmark: Optional[Dict[str, Dict[str, float]]] = None
+    intervals: Optional[Dict[str, Dict[str, float]]] = None
 
     def as_row(self) -> Dict[str, object]:
         """Flat record for CSV artifacts and reports.
 
         Aggregated scores embed their per-benchmark sub-scores as
-        ``<benchmark>.<metric>`` columns; axis-mode rows are unchanged.
+        ``<benchmark>.<metric>`` columns; sampled scores add
+        ``<metric>.ci_low`` / ``<metric>.ci_high`` bounds. Axis-mode
+        full-simulation rows are schema-frozen — new columns appear only
+        when the producing mode is active.
         """
         row: Dict[str, object] = {
             "point_id": self.point.point_id,
@@ -90,6 +99,10 @@ class PointScore:
         row["baseline_ipc"] = self.baseline_ipc
         for name in OBJECTIVES:
             row[name] = self.objectives[name]
+        if self.intervals:
+            for metric, bounds in self.intervals.items():
+                row[f"{metric}.ci_low"] = bounds["low"]
+                row[f"{metric}.ci_high"] = bounds["high"]
         if self.per_benchmark:
             for benchmark, sub in self.per_benchmark.items():
                 for metric, value in sub.items():
@@ -165,6 +178,29 @@ class ObjectiveScorer:
         }
         return stats.ipc, base_stats.ipc, objectives
 
+    #: Estimator metrics whose confidence bounds ride into artifacts.
+    #: Only metrics whose *raw* point value appears in the row are
+    #: emitted — ``ipc`` brackets the row's raw ``ipc`` column and
+    #: ``energy_per_inst`` is self-describing — because the ``energy*``
+    #: objective columns are baseline-normalized ratios that same-named
+    #: raw-domain bounds would silently fail to bracket.
+    _INTERVAL_METRICS = ("ipc", "energy_per_inst")
+
+    def _intervals(
+        self, benchmark: str, config: ProcessorConfig
+    ) -> Optional[Dict[str, Dict[str, float]]]:
+        """Raw-metric confidence bounds when scoring sampled estimates."""
+        sampled = self.runner.sampled_result(benchmark, config)
+        if sampled is None:
+            return None
+        return {
+            metric: {
+                "low": sampled.estimates[metric].ci_low,
+                "high": sampled.estimates[metric].ci_high,
+            }
+            for metric in self._INTERVAL_METRICS
+        }
+
     def score(self, point: DesignPoint) -> PointScore:
         """Evaluate one point (hits the warm cache after a prefetch)."""
         ipc, baseline_ipc, objectives = self._evaluate(point.benchmark, point.config)
@@ -173,6 +209,7 @@ class ObjectiveScorer:
             ipc=ipc,
             baseline_ipc=baseline_ipc,
             objectives=objectives,
+            intervals=self._intervals(point.benchmark, point.config),
         )
 
     def score_many(self, points: Sequence[DesignPoint]) -> List[PointScore]:
@@ -242,6 +279,10 @@ class SuiteAggregator(ObjectiveScorer):
             ipc, baseline_ipc, objectives = self._evaluate(benchmark, point.config)
             sub: Dict[str, float] = {"ipc": ipc, "baseline_ipc": baseline_ipc}
             sub.update(objectives)
+            bounds = self._intervals(benchmark, point.config)
+            if bounds is not None:
+                sub["ipc_ci_low"] = bounds["ipc"]["low"]
+                sub["ipc_ci_high"] = bounds["ipc"]["high"]
             per_benchmark[benchmark] = sub
             ipcs.append(ipc)
             baseline_ipcs.append(baseline_ipc)

@@ -79,6 +79,16 @@ class BranchTargetBuffer:
         if len(ways) > self.associativity:
             ways.pop(0)
 
+    def state_snapshot(self) -> List[List[list]]:
+        """JSON-friendly copy of the tag/target/LRU state (no counters)."""
+        return [[[tag, target] for tag, target in ways] for ways in self._sets]
+
+    def restore_state(self, snapshot: List[List[list]]) -> None:
+        """Restore from :meth:`state_snapshot`; lookup counters untouched."""
+        self._sets = [
+            [(int(tag), int(target)) for tag, target in ways] for ways in snapshot
+        ]
+
 
 class HybridBranchPredictor:
     """Gshare/bimodal hybrid with a per-branch selector.
@@ -149,6 +159,31 @@ class HybridBranchPredictor:
             correct = False
         self.update(pc, taken, target)
         return correct
+
+    def state_snapshot(self) -> dict:
+        """JSON-friendly copy of every prediction-relevant table.
+
+        Captures the gshare/bimodal/selector counters, the global
+        history register and the BTB contents — everything a later
+        prediction depends on — but *not* the accuracy counters, so
+        restoring warmed state into a fresh predictor leaves its
+        statistics at zero (the sampled-simulation contract).
+        """
+        return {
+            "gshare": [c.value for c in self._gshare],
+            "bimodal": [c.value for c in self._bimodal],
+            "selector": [c.value for c in self._selector],
+            "history": self._history,
+            "btb": self.btb.state_snapshot(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore tables from :meth:`state_snapshot` (counters untouched)."""
+        self._gshare = [SaturatingCounter(int(v)) for v in snapshot["gshare"]]
+        self._bimodal = [SaturatingCounter(int(v)) for v in snapshot["bimodal"]]
+        self._selector = [SaturatingCounter(int(v)) for v in snapshot["selector"]]
+        self._history = int(snapshot["history"])
+        self.btb.restore_state(snapshot["btb"])
 
     @property
     def mispredictions(self) -> int:

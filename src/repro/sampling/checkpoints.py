@@ -1,0 +1,184 @@
+"""Content-addressed checkpoints of functionally-warmed state.
+
+Fast-forwarding is the dominant cost of a *warm-cache-miss* sampled run
+(every detailed slice is short by design), and the warmed state at a
+position depends only on the trace, the cache/predictor geometry and the
+pre-warm inputs — **not** on the issue scheme or pipeline widths. A
+checkpoint computed while sampling one design point is therefore
+reusable by every other point that shares the memory-side configuration:
+an exploration sweeping hundreds of schemes over one benchmark pays the
+fast-forward once.
+
+Checkpoints live next to the result cache (``<store root>/checkpoints/
+<key[:2]>/<key>.json``) and follow the same rules: atomic writes, a
+simulator-version tag in both the key and the payload, and *any*
+unreadable, truncated, corrupt or mis-typed file reads as a miss — the
+leg is simply replayed and the checkpoint rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.common.config import stable_fingerprint
+
+__all__ = ["CheckpointStore", "checkpoint_key"]
+
+
+def checkpoint_key(warmer, position: int) -> str:
+    """Content address of the warmed state at ``position``.
+
+    Includes everything the state is a function of — the simulator
+    version tag *and* the sampling-sources tag (the fast-forward walk
+    itself lives in ``repro.sampling``, so editing it must orphan stale
+    checkpoints exactly like it orphans sampled results), the
+    memory-side geometry (caches, predictor), the trace identity
+    (profile, length, generation seed) and the pre-warm inputs — and
+    deliberately excludes the issue scheme and pipeline widths, so
+    design-space sweeps share checkpoints across points.
+
+    The version tags are coarser than strictly necessary (an edit to
+    the issue schemes or the estimator also rotates them, orphaning
+    checkpoints the warm state does not depend on). That is a chosen
+    trade-off: checkpoints cost one fast-forward leg to rebuild, while
+    a stale one silently skews every estimate derived from it — safety
+    wins over reuse here.
+    """
+    from repro.experiments.store import SAMPLING_VERSION_TAG, SIMULATOR_VERSION_TAG
+
+    config = warmer.config
+    trace = warmer.trace
+    material = json.dumps(
+        {
+            "version": SIMULATOR_VERSION_TAG,
+            "sampling_version": SAMPLING_VERSION_TAG,
+            "icache": stable_fingerprint(config.icache),
+            "dcache": stable_fingerprint(config.dcache),
+            "l2cache": stable_fingerprint(config.l2cache),
+            "memory": stable_fingerprint(config.memory),
+            "branch": stable_fingerprint(config.branch),
+            "profile": (
+                stable_fingerprint(warmer.profile)
+                if warmer.profile is not None
+                else None
+            ),
+            "trace": [trace.name, len(trace), trace.seed],
+            "prewarm_seed": warmer.prewarm_seed,
+            "position": position,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Directory of warmed-state snapshots, content-addressed."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, warmer, position: int):
+        """Warmed state for ``warmer`` at ``position``, or ``None``.
+
+        Returns a :class:`~repro.sampling.ffwd.WarmState`; every failure
+        mode — missing file, truncated JSON, wrong version, mis-typed
+        payload — is a miss, never an exception.
+        """
+        from repro.experiments.store import SIMULATOR_VERSION_TAG
+        from repro.sampling.ffwd import WarmState
+
+        try:
+            with open(self._path(checkpoint_key(warmer, position)),
+                      "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != SIMULATOR_VERSION_TAG:
+                return None
+            if payload["position"] != position:
+                return None
+            hierarchy = payload["hierarchy"]
+            icache, dcache, l2 = hierarchy  # shape check
+            predictor = payload["predictor"]
+            line = payload["line"]
+            if line is not None:
+                line = int(line)
+            state = WarmState(
+                position=int(payload["position"]),
+                hierarchy=(icache, dcache, l2),
+                predictor=dict(predictor),
+                line=line,
+            )
+            # Validate values AND geometry against the warmer's config:
+            # a parseable-but-damaged payload (shortened table, wrong
+            # set count) must read as a miss here, never crash with an
+            # IndexError deep inside a later simulation.
+            config = warmer.config
+            for level, cache_config in (
+                (icache, config.icache),
+                (dcache, config.dcache),
+                (l2, config.l2cache),
+            ):
+                if len(level) != cache_config.num_sets:
+                    return None
+                for ways in level:
+                    if len(ways) > cache_config.associativity:
+                        return None
+                    if not all(isinstance(tag, int) for tag in ways):
+                        return None
+            branch = config.branch
+            for bank, entries in (
+                ("gshare", branch.gshare_entries),
+                ("bimodal", branch.bimodal_entries),
+                ("selector", branch.selector_entries),
+            ):
+                values = state.predictor[bank]
+                if len(values) != entries:
+                    return None
+                if not all(isinstance(v, int) and 0 <= v <= 3 for v in values):
+                    return None
+            btb = state.predictor["btb"]
+            if len(btb) != branch.btb_entries // branch.btb_associativity:
+                return None
+            for ways in btb:
+                if len(ways) > branch.btb_associativity:
+                    return None
+                for entry in ways:
+                    if len(entry) != 2 or not all(
+                        isinstance(v, int) for v in entry
+                    ):
+                        return None
+            int(state.predictor["history"])
+            return state
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def save(self, warmer, state) -> Path:
+        """Atomically persist ``state``; returns the file path."""
+        from repro.experiments.store import SIMULATOR_VERSION_TAG, atomic_write_json
+
+        key = checkpoint_key(warmer, state.position)
+        payload = {
+            "version": SIMULATOR_VERSION_TAG,
+            "key": key,
+            "position": state.position,
+            "line": state.line,
+            "hierarchy": [list(level) for level in state.hierarchy],
+            "predictor": state.predictor,
+        }
+        return atomic_write_json(self._path(key), payload)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for __ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({str(self.root)!r})"

@@ -1,0 +1,233 @@
+"""Declarative sampling plans for SMARTS-style sampled simulation.
+
+A :class:`SamplingPlan` says *which* committed-instruction slices of a
+run are simulated in detail and how the per-slice measurements are
+turned into error-bounded whole-run estimates:
+
+* ``mode`` — ``"systematic"`` places one slice at the start of each of
+  ``num_slices`` equal strata over the measured region (the SMARTS
+  default); ``"random"`` draws one seeded-uniform start per stratum
+  (stratified random sampling, still deterministic in ``seed``).
+* ``slice_instructions`` — committed instructions measured in detail per
+  slice.
+* ``warmup_instructions`` — committed instructions simulated in detail
+  *before* each slice and excluded from its statistics (pipeline and
+  queue warm-up on top of the functionally warmed caches/predictor).
+* ``confidence`` — the two-sided confidence level of the reported
+  intervals (Student's t over the per-slice samples).
+* ``target_relative_error`` — the relative-error bound the plan is
+  designed for; validation modes and the CI gate check sampled-vs-full
+  error against it.
+
+Plans are frozen, fingerprinted dataclasses: a plan hashes into the
+content-addressed result-cache key exactly like the processor config and
+the run scale, so sampled and full results can never alias and a warm
+rerun of a sampled campaign replays from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.config import _Fingerprinted
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+__all__ = [
+    "MODE_SYSTEMATIC",
+    "MODE_RANDOM",
+    "VALID_SAMPLING_MODES",
+    "SUPPORTED_CONFIDENCES",
+    "SliceWindow",
+    "SamplingPlan",
+]
+
+MODE_SYSTEMATIC = "systematic"
+MODE_RANDOM = "random"
+VALID_SAMPLING_MODES = (MODE_SYSTEMATIC, MODE_RANDOM)
+
+#: Confidence levels the estimator has Student-t critical values for.
+SUPPORTED_CONFIDENCES = (0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class SliceWindow:
+    """One detailed-measurement window of a sampled run.
+
+    ``detail_start`` is where detailed simulation begins (the functional
+    fast-forward stops there), ``measure_start`` where measurement
+    begins (``measure_start - detail_start`` committed instructions are
+    detailed warm-up, excluded from statistics) and ``detail_end`` where
+    the slice stops. All positions are committed-instruction indices
+    into the full trace.
+    """
+
+    detail_start: int
+    measure_start: int
+    detail_end: int
+
+    @property
+    def warmup(self) -> int:
+        return self.measure_start - self.detail_start
+
+    @property
+    def measured(self) -> int:
+        return self.detail_end - self.measure_start
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "detail_start": self.detail_start,
+            "measure_start": self.measure_start,
+            "detail_end": self.detail_end,
+        }
+
+
+@dataclass(frozen=True)
+class SamplingPlan(_Fingerprinted):
+    """Everything that determines a sampled run (and its cache key)."""
+
+    mode: str = MODE_SYSTEMATIC
+    num_slices: int = 8
+    slice_instructions: int = 200
+    warmup_instructions: int = 150
+    confidence: float = 0.95
+    seed: int = 17
+    target_relative_error: float = 0.10
+
+    def validate(self) -> None:
+        if self.mode not in VALID_SAMPLING_MODES:
+            raise ConfigurationError(
+                f"unknown sampling mode {self.mode!r}; valid: {VALID_SAMPLING_MODES}"
+            )
+        if self.num_slices < 2:
+            raise ConfigurationError(
+                "need at least two slices to estimate a confidence interval"
+            )
+        if self.slice_instructions < 1:
+            raise ConfigurationError("slices must measure at least one instruction")
+        if self.warmup_instructions < 0:
+            raise ConfigurationError("per-slice warm-up cannot be negative")
+        if self.confidence not in SUPPORTED_CONFIDENCES:
+            raise ConfigurationError(
+                f"confidence must be one of {SUPPORTED_CONFIDENCES}, "
+                f"got {self.confidence}"
+            )
+        if not 0.0 < self.target_relative_error < 1.0:
+            raise ConfigurationError(
+                "target_relative_error must be a fraction in (0, 1)"
+            )
+
+    @property
+    def detailed_instructions(self) -> int:
+        """Committed instructions each sampled run simulates in detail."""
+        return self.num_slices * (self.slice_instructions + self.warmup_instructions)
+
+    def slice_windows(self, measure_begin: int, measure_end: int) -> List[SliceWindow]:
+        """Detailed windows over the measured region, in trace order.
+
+        The region ``[measure_begin, measure_end)`` (the full run's
+        post-warm-up portion) is split into ``num_slices`` equal strata;
+        each stratum contributes one slice. Raises
+        :class:`ConfigurationError` when the plan measures more than the
+        region holds — sampling something larger than the full run is a
+        configuration mistake, not an estimate.
+        """
+        self.validate()
+        region = measure_end - measure_begin
+        if region < self.num_slices * self.slice_instructions:
+            raise ConfigurationError(
+                f"sampling plan measures {self.num_slices}x"
+                f"{self.slice_instructions} instructions but the measured "
+                f"region holds only {region}; shrink the plan or use a "
+                "full simulation"
+            )
+        stride = region // self.num_slices
+        rng = make_rng(self.seed, "sampling:starts")
+        windows: List[SliceWindow] = []
+        for index in range(self.num_slices):
+            stratum = measure_begin + index * stride
+            if self.mode == MODE_RANDOM:
+                slack = stride - self.slice_instructions
+                start = stratum + (rng.randrange(slack + 1) if slack > 0 else 0)
+            else:
+                start = stratum
+            start = min(start, measure_end - self.slice_instructions)
+            detail_start = max(0, start - self.warmup_instructions)
+            windows.append(
+                SliceWindow(
+                    detail_start=detail_start,
+                    measure_start=start,
+                    detail_end=start + self.slice_instructions,
+                )
+            )
+        return windows
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (artifacts, cache payloads)."""
+        return {
+            "mode": self.mode,
+            "num_slices": self.num_slices,
+            "slice_instructions": self.slice_instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "confidence": self.confidence,
+            "seed": self.seed,
+            "target_relative_error": self.target_relative_error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SamplingPlan":
+        """Inverse of :meth:`as_dict`; validates the result."""
+        plan = cls(
+            mode=str(payload["mode"]),
+            num_slices=int(payload["num_slices"]),
+            slice_instructions=int(payload["slice_instructions"]),
+            warmup_instructions=int(payload["warmup_instructions"]),
+            confidence=float(payload["confidence"]),
+            seed=int(payload["seed"]),
+            target_relative_error=float(payload["target_relative_error"]),
+        )
+        plan.validate()
+        return plan
+
+    _SPEC_KEYS = {
+        "mode": ("mode", str),
+        "slices": ("num_slices", int),
+        "slice": ("slice_instructions", int),
+        "warmup": ("warmup_instructions", int),
+        "confidence": ("confidence", float),
+        "seed": ("seed", int),
+        "error": ("target_relative_error", float),
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "SamplingPlan":
+        """Parse a CLI plan spec like ``slices=8,slice=150,warmup=75``.
+
+        Keys: ``mode`` (systematic|random), ``slices``, ``slice``,
+        ``warmup``, ``confidence``, ``seed``, ``error``. Unset keys keep
+        the plan defaults; an empty spec is the default plan.
+        """
+        kwargs: Dict[str, object] = {}
+        for part in filter(None, (piece.strip() for piece in spec.split(","))):
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad sampling spec entry {part!r}: expected key=value"
+                )
+            key, __, raw = part.partition("=")
+            key = key.strip()
+            if key not in cls._SPEC_KEYS:
+                raise ConfigurationError(
+                    f"unknown sampling spec key {key!r}; known: "
+                    f"{sorted(cls._SPEC_KEYS)}"
+                )
+            field_name, cast = cls._SPEC_KEYS[key]
+            try:
+                kwargs[field_name] = cast(raw.strip())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad sampling spec value for {key!r}: {raw!r}"
+                ) from exc
+        plan = cls(**kwargs)
+        plan.validate()
+        return plan

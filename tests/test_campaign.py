@@ -70,6 +70,94 @@ class TestCliFilters:
         assert "0 skipped" in out
 
 
+class TestListCatalog:
+    def test_list_prints_catalog_and_exits_cleanly(self, capsys):
+        main(["--list"])
+        out = capsys.readouterr().out
+        assert "Campaign catalog" in out
+        # Every suite is enumerated...
+        for bench in ("gzip", "mcf", "swim", "ptrchase"):
+            assert bench in out
+        # ...as are figures with titles, scheme names and kernels.
+        assert "2: % IPC loss, IssueFIFO, SPECINT" in out
+        assert "15: Normalized energy x delay^2" in out
+        assert "IQ_64_64" in out and "IssueFIFO_8x8_16x16" in out
+        assert "naive" in out and "skip" in out
+        assert "sampled (--sampling)" in out
+
+    def test_list_ignores_other_flags_and_simulates_nothing(self, capsys,
+                                                            tmp_path):
+        main(["--list", "--scale", "100000", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Campaign catalog" in out
+        assert "campaign:" not in out  # no footer: nothing ran
+        assert not any(tmp_path.iterdir())  # and nothing was cached
+
+    def test_catalog_schemes_match_figure_matrix(self):
+        from repro.common.config import scheme_name
+        from repro.experiments.campaign import render_catalog
+
+        listed = render_catalog()
+        for __, scheme in fig_mod.required_runs(ALL_FIGURES):
+            assert scheme_name(scheme) in listed
+
+
+class TestSamplingCli:
+    def test_sampled_campaign_renders_and_reports(self, monkeypatch, tmp_path,
+                                                  capsys):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        main(["--scale", "2000", "--figures", "2",
+              "--sampling", "slices=4,slice=120,warmup=80",
+              "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "sampling [systematic]: 4 slices x 120" in out
+
+    def test_warm_sampled_rerun_executes_nothing(self, monkeypatch, tmp_path,
+                                                 capsys):
+        monkeypatch.setattr(fig_mod, "INT_BENCHMARKS", ["gzip"])
+        args = ["--scale", "2000", "--figures", "2",
+                "--sampling", "slices=4,slice=120,warmup=80",
+                "--cache-dir", str(tmp_path)]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        out = capsys.readouterr().out
+        assert "0 simulated" in out
+
+    def test_bad_spec_and_oversized_plan_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--sampling", "bogus=1", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            # 8x200 slices cannot fit scale 1000's 500-instruction region.
+            main(["--scale", "1000", "--sampling", "",
+                  "--cache-dir", str(tmp_path)])
+
+    def test_validate_requires_sampling(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--sampling-validate", "--cache-dir", str(tmp_path)])
+
+    def test_validate_prints_error_table_and_gates(self, monkeypatch, tmp_path,
+                                                   capsys):
+        import repro.experiments.campaign as campaign_mod
+
+        monkeypatch.setattr(campaign_mod, "INT_BENCHMARKS", ["gzip"])
+        # A loose bound passes and exits zero...
+        main(["--scale", "3000", "--benchmarks", "int",
+              "--sampling", "slices=4,slice=250,warmup=250,error=0.5",
+              "--sampling-validate", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Sampled vs full IPC" in out
+        assert "gzip" in out and "error-bound OK" in out
+        # ...an absurdly tight bound trips the gate with exit code 1.
+        with pytest.raises(SystemExit) as exc:
+            main(["--scale", "3000", "--benchmarks", "int",
+                  "--sampling", "slices=4,slice=250,warmup=250,error=0.0001",
+                  "--sampling-validate", "--cache-dir", str(tmp_path)])
+        assert exc.value.code == 1
+        assert "error-bound VIOLATED" in capsys.readouterr().out
+
+
 class TestOutputExport:
     def test_figure_rows_shapes(self):
         series = figure_rows(2, {"IF_8x8": 12.5})

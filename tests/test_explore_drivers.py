@@ -325,3 +325,79 @@ class TestCli:
     def test_cli_rejects_bad_scale(self, tmp_path):
         with pytest.raises(SystemExit):
             explore_main(["--scale", "100", "--out", str(tmp_path)])
+
+
+from repro.sampling import SamplingPlan  # noqa: E402  (sampled-mode tests)
+
+SAMPLED = ExplorationSettings(
+    samples=5,
+    rounds=0,
+    seed=11,
+    strategy="mixed",
+    benchmarks=("gzip", "streampump"),
+    neighbors_per_point=2,
+    num_instructions=2000,
+    sampling=SamplingPlan(
+        num_slices=4, slice_instructions=150, warmup_instructions=100
+    ),
+)
+
+
+class TestSampledExploration:
+    @pytest.fixture(scope="class")
+    def sampled(self):
+        return run_exploration(SAMPLED, store=False)
+
+    def test_scores_carry_confidence_intervals(self, sampled):
+        assert sampled.scores
+        for score in sampled.scores:
+            assert score.intervals is not None
+            # Only raw-domain metrics whose point value is in the row:
+            # the energy* objective columns are baseline-normalized, so
+            # raw bounds under those names would be misleading.
+            assert set(score.intervals) == {"ipc", "energy_per_inst"}
+            for bounds in score.intervals.values():
+                assert bounds["low"] <= bounds["high"]
+            row = score.as_row()
+            assert row["ipc.ci_low"] <= score.ipc <= row["ipc.ci_high"]
+            assert "energy_delay.ci_low" not in row
+
+    def test_full_mode_rows_stay_schema_frozen(self, result):
+        # Without a sampling plan no interval columns may appear.
+        for score in result.scores:
+            assert score.intervals is None
+            assert not any("ci_" in key for key in score.as_row())
+
+    def test_settings_dict_embeds_plan_only_when_set(self, sampled):
+        assert sampled.settings.as_dict()["sampling"] == (
+            SAMPLED.sampling.as_dict()
+        )
+        assert "sampling" not in SMALL.as_dict()
+
+    def test_warm_sampled_rerun_executes_nothing_and_artifacts_identical(
+        self, tmp_path
+    ):
+        out_a = tmp_path / "a"
+        out_b = tmp_path / "b"
+        store = ResultStore(tmp_path / "cache")
+        cold = run_exploration(SAMPLED, store=store)
+        assert cold.cache_stats["simulations"] > 0
+        paths_a = write_artifacts(cold, out_a)
+        warm = run_exploration(SAMPLED, store=ResultStore(tmp_path / "cache"))
+        assert warm.cache_stats["simulations"] == 0
+        paths_b = write_artifacts(warm, out_b)
+        assert paths_a["json"].read_bytes() == paths_b["json"].read_bytes()
+        assert paths_a["csv"].read_bytes() == paths_b["csv"].read_bytes()
+
+    def test_oversized_plan_fails_validation_before_running(self):
+        from repro.sampling import SamplingPlan
+
+        bad = ExplorationSettings(
+            samples=2,
+            benchmarks=("gzip",),
+            num_instructions=1000,
+            sampling=SamplingPlan(num_slices=8, slice_instructions=200,
+                                  warmup_instructions=50),
+        )
+        with pytest.raises(ConfigurationError):
+            bad.validate()

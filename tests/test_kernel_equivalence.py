@@ -137,6 +137,94 @@ class TestReadyBoundShortCircuit:
         assert optimized.to_dict() == plain.to_dict()
 
 
+class TestBroadcastDrainSpans:
+    """Closed-form accounting of pure-broadcast drain spans.
+
+    The skipping kernel defers result broadcasts off the event wheel
+    while no waiting instruction can wake (the scheme's
+    ``next_wakeup_cycle`` contract) and replays their wakeup accounting
+    in closed form. The differential matrices above already pin
+    bit-identity; these tests pin that the optimization actually
+    engages and that its telemetry is consistent.
+    """
+
+    def test_drain_engages_across_the_matrix(self):
+        # The optimization fires on drains where every in-flight
+        # completion has already left the queues; require it somewhere
+        # in the matrix so a regression to "never drains" is caught.
+        drained = 0
+        for bench, length, seed in RUN_MATRIX:
+            for scheme in ALL_SCHEMES.values():
+                __, processor = _run(bench, length, seed, scheme, KERNEL_SKIP)
+                telemetry = processor.kernel_telemetry
+                drained += telemetry.drained_broadcasts
+                # A drained broadcast only ever rides a skipped span.
+                if telemetry.drained_broadcasts:
+                    assert telemetry.skip_spans > 0
+        assert drained > 0
+
+    def test_naive_kernel_never_drains(self):
+        __, processor = _run("mcf", 2000, 11, IQ_64_64, KERNEL_NAIVE)
+        assert processor.kernel_telemetry.drained_broadcasts == 0
+
+    def test_wakeup_bound_never_precedes_first_broadcast(self):
+        # next_wakeup_cycle returns a *scheduled* readiness transition,
+        # and every scheduled transition rides a pending broadcast —
+        # so deferral can never move an event earlier than the wheel
+        # had it (the soundness invariant of the drain).
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.prewarm import prewarm as _prewarm
+
+        profile = get_profile("mesa")
+        trace = generate_trace(profile, 1200, seed=5)
+        processor = Processor(default_config(IQ_64_64), trace)
+        _prewarm(processor.hierarchy, profile, 5)
+
+        original = Processor.next_event_cycle
+
+        def checked(self, cycle, defer_inert_broadcasts=False):
+            if defer_inert_broadcasts and self._broadcasts:
+                wake = self.scheme.next_wakeup_cycle(cycle, self.scoreboard)
+                if wake is not None:
+                    assert wake >= min(self._broadcasts)
+            return original(self, cycle, defer_inert_broadcasts)
+
+        Processor.next_event_cycle = checked
+        try:
+            processor.run(warmup_instructions=400)
+        finally:
+            Processor.next_event_cycle = original
+
+    def test_base_scheme_contract_disables_deferral_soundly(self, monkeypatch):
+        # A scheme that has not audited its selection logic inherits the
+        # base next_wakeup_cycle of "wake immediately": broadcasts stay
+        # on the wheel (no drains) and results remain bit-identical.
+        import repro.issue.base as base_mod
+        import repro.issue.conventional as conv
+        from repro.issue.base import IssueScheme
+
+        results = {}
+        for patched in (False, True):
+            if patched:
+                monkeypatch.setattr(
+                    conv.ConventionalIssueQueue,
+                    "next_wakeup_cycle",
+                    IssueScheme.next_wakeup_cycle,
+                )
+                monkeypatch.setattr(
+                    base_mod.SideIdleCountersMixin,
+                    "next_wakeup_cycle",
+                    IssueScheme.next_wakeup_cycle,
+                )
+            for name, scheme in ALL_SCHEMES.items():
+                stats, proc = _run("mcf", 1200, 3, scheme, KERNEL_SKIP)
+                results.setdefault(name, []).append(stats.to_dict())
+                if patched:
+                    assert proc.kernel_telemetry.drained_broadcasts == 0
+        for name, (optimized, plain) in results.items():
+            assert optimized == plain, name
+
+
 class TestKernelTelemetry:
     def test_skip_kernel_actually_skips_on_memory_bound_run(self):
         __, processor = _run("mcf", 2000, 11, IQ_64_64, KERNEL_SKIP)

@@ -169,3 +169,88 @@ class TestCorruptionFallback:
         stats = make_stats()
         store.save(key_for(), stats)  # what a runner does after the miss
         assert store.load(key_for()) == stats
+
+    def test_truncated_file_bytes_are_a_miss(self, tmp_path):
+        # A crash mid-write of a non-atomic copy (or disk-full tail
+        # loss) leaves a prefix of valid JSON: must read as a miss.
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        raw = path.read_bytes()
+        for cut in (0, 1, len(raw) // 2, len(raw) - 1):
+            path.write_bytes(raw[:cut])
+            assert store.load(key_for()) is None
+            assert store.load_with_extra(key_for()) is None
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats())
+        path.write_bytes(b"\x00\xff\xfe binary \x9c garbage")
+        assert store.load(key_for()) is None
+
+    def test_mistyped_stats_fields_are_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for field, bad in (("cycles", "1000"), ("committed_instructions", 1.5)):
+            path = store.save(key_for(), make_stats())
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            payload["stats"][field] = bad
+            path.write_text(json.dumps(payload), encoding="utf-8")
+            assert store.load(key_for()) is None
+
+
+class TestSampledPayloads:
+    """The sampled-estimate side payload: round trip + damage tolerance."""
+
+    def _sampled_extra(self):
+        from repro.sampling import SamplingPlan
+
+        plan = SamplingPlan(num_slices=2, slice_instructions=100,
+                            warmup_instructions=50)
+        estimate = {"mean": 1.5, "std_error": 0.1, "ci_low": 1.2, "ci_high": 1.8}
+        return {
+            "plan": plan.as_dict(),
+            "estimates": {name: dict(estimate) for name in (
+                "ipc", "cpi", "energy_per_inst", "energy_delay", "energy_delay2"
+            )},
+            "windows": [
+                {"detail_start": 0, "measure_start": 50, "detail_end": 150},
+                {"detail_start": 250, "measure_start": 300, "detail_end": 400},
+            ],
+            "slice_ipcs": [1.4, 1.6],
+            "total_instructions": 600,
+            "detailed_instructions": 300,
+            "detailed_cycles": 200,
+        }
+
+    def test_extra_round_trips_bit_identically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        extra = self._sampled_extra()
+        store.save(key_for(), make_stats(), extra=extra)
+        stats, loaded = store.load_with_extra(key_for())
+        assert stats == make_stats()
+        assert loaded == extra
+        from repro.sampling import SampledStats
+
+        rebuilt = SampledStats.from_dict(loaded, stats)
+        assert rebuilt.to_dict() == extra
+
+    def test_plain_results_load_with_none_extra(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(key_for(), make_stats())
+        stats, extra = store.load_with_extra(key_for())
+        assert stats == make_stats() and extra is None
+
+    def test_non_dict_extra_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats(), extra=self._sampled_extra())
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["sampled"] = ["wrong", "shape"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load_with_extra(key_for()) is None
+        assert store.load(key_for()) is None
+
+    def test_truncated_sampled_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(key_for(), make_stats(), extra=self._sampled_extra())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 40])
+        assert store.load_with_extra(key_for()) is None
