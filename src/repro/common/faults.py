@@ -1,0 +1,93 @@
+"""Deliberate, named contract faults for the discovery subsystem.
+
+The divergence-discovery campaigns (:mod:`repro.discover`) prove their
+own sensitivity by hunting a *known* bug: a fault listed here is a
+small, well-understood violation of a simulator contract that stays
+dormant until explicitly armed. Faults are test-only by design — nothing
+arms one except the discovery CLI's ``--inject`` flag and the test
+suite — but arming is runtime state, not a code edit, so the simulator
+version tag cannot see it. The result-cache key therefore folds the
+active fault set into its material (see
+:func:`repro.experiments.store.result_key`): results computed under a
+fault can never alias, or be served as, clean results.
+
+Activation is carried in the ``REPRO_FAULTS`` environment variable (a
+comma-separated list of fault names) so multiprocessing workers inherit
+the same fault state as the parent — a parallel run under a fault stays
+bit-identical to the serial one, which keeps the serial-vs-parallel
+oracle honest.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "ENV_VAR",
+    "KNOWN_FAULTS",
+    "SKIP_IDLE_UNDERCOUNT",
+    "active_faults",
+    "is_active",
+    "activate",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: The skipping kernel replays one quiescent cycle's accounting delta
+#: ``span`` times; this fault replays long spans one cycle short, so
+#: per-cycle counters (dispatch stalls, occupancy, selection energy)
+#: silently undercount relative to the naive kernel — exactly the class
+#: of contract bug the kernel-equivalence oracle exists to catch. The
+#: ``span > 8`` guard keeps short spans clean, which makes the bug
+#: workload-dependent: it only fires on memory-bound traces with long
+#: quiescent stretches, so discovery has to actually *search* for it.
+SKIP_IDLE_UNDERCOUNT = "skip-idle-undercount"
+
+KNOWN_FAULTS = {
+    SKIP_IDLE_UNDERCOUNT: (
+        "skipping kernel replays quiescent spans longer than 8 cycles "
+        "one replay short (per-cycle accounting undercounts)"
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def _parse(raw: str) -> Tuple[str, ...]:
+    """Validated, sorted fault names from one env-var rendering."""
+    names = sorted({name.strip() for name in raw.split(",") if name.strip()})
+    unknown = [name for name in names if name not in KNOWN_FAULTS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fault(s) {unknown} in ${ENV_VAR}; known: "
+            f"{sorted(KNOWN_FAULTS)}"
+        )
+    return tuple(names)
+
+
+def active_faults() -> Tuple[str, ...]:
+    """The armed fault names, sorted (empty tuple when none)."""
+    return _parse(os.environ.get(ENV_VAR, ""))
+
+
+def is_active(name: str) -> bool:
+    """Is the named fault armed in this process?"""
+    return name in active_faults()
+
+
+def activate(names: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """Arm exactly ``names`` (``None``/empty disarms everything).
+
+    Writes ``$REPRO_FAULTS`` so spawned workers inherit the state;
+    raises :class:`ConfigurationError` on unknown names without
+    changing anything. Returns the armed set.
+    """
+    if not names:
+        os.environ.pop(ENV_VAR, None)
+        return ()
+    armed = _parse(",".join(names))
+    os.environ[ENV_VAR] = ",".join(armed)
+    return armed

@@ -58,6 +58,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.common import faults
 from repro.common.config import KERNEL_NAIVE, KERNEL_SKIP, VALID_KERNELS
 from repro.common.errors import SimulationError
 
@@ -189,7 +190,12 @@ def run_skipping(processor, total: int, max_cycles: int, warmup_instructions: in
             continue  # a wake source was conservative; no skip, no harm
         span = min(target, max_cycles + 1) - cycle
         if span > 0:
-            processor.advance_idle(before, span)
+            replayed = span
+            if span > 8 and faults.is_active(faults.SKIP_IDLE_UNDERCOUNT):
+                # Armed contract fault (discovery self-test): replay the
+                # measured idle delta one cycle short on long spans.
+                replayed = span - 1
+            processor.advance_idle(before, replayed)
             # Replay any inert broadcasts inside the span *after* the
             # measured-delta accounting, so their wakeup events accrue
             # once each rather than being multiplied into the interval.

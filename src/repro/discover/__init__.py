@@ -1,0 +1,67 @@
+"""Differential divergence-discovery campaigns.
+
+A test suite checks the behaviours someone thought to write down; this
+subsystem hunts for the ones nobody did. It samples the design space
+(workload x scheme x geometry x kernel), runs every point through
+*oracles* — executable contracts like "both simulation kernels are
+bit-identical", "parallel equals serial", "statistics respect the
+machine's structural bounds", "sampled estimate records are coherent" —
+and turns every divergence into a small, replayable, content-addressed
+*witness* via automatic generalization (which dimensions matter?) and
+minimization (trace-length bisection + config shrinking).
+
+Entry points: ``python -m repro.discover`` (the campaign CLI),
+:func:`~repro.discover.campaign.run_discovery` (the library API) and
+:func:`~repro.discover.witness.replay_witness` (corpus regression
+replay). The subsystem proves its own sensitivity by hunting known
+injected faults (:mod:`repro.common.faults`): a discovery loop that
+cannot find a planted bug cannot be trusted to find real ones.
+"""
+
+from repro.discover.campaign import (
+    DISCOVERY_BENCHMARKS,
+    DiscoveryContext,
+    DiscoveryReport,
+    DiscoverySettings,
+    discovery_space,
+    run_discovery,
+)
+from repro.discover.oracles import (
+    ORACLES,
+    Finding,
+    Oracle,
+    check_estimate_record,
+    check_invariants,
+    diff_stats,
+    plan_for,
+    resolve_oracles,
+)
+from repro.discover.witness import (
+    build_witness,
+    load_corpus,
+    replay_witness,
+    save_witness,
+    witness_key,
+)
+
+__all__ = [
+    "DISCOVERY_BENCHMARKS",
+    "DiscoveryContext",
+    "DiscoveryReport",
+    "DiscoverySettings",
+    "discovery_space",
+    "run_discovery",
+    "ORACLES",
+    "Finding",
+    "Oracle",
+    "check_estimate_record",
+    "check_invariants",
+    "diff_stats",
+    "plan_for",
+    "resolve_oracles",
+    "build_witness",
+    "load_corpus",
+    "replay_witness",
+    "save_witness",
+    "witness_key",
+]

@@ -1,0 +1,425 @@
+"""The discovery campaign: sample, check, generalize, minimize.
+
+One campaign runs ``rounds`` rounds. Each round draws ``per_round``
+random assignments from the discovery design space (seeded, so a fixed
+configuration always explores the same points), expands them to unique
+design points, and runs every selected oracle over them through one
+shared :class:`DiscoveryContext` — all simulations flow through the
+normal memory/disk cache stack, so a warm rerun of an identical
+campaign replays with **zero** simulations and byte-identical
+artifacts.
+
+Every *new* finding (one per (oracle, point)) is then investigated:
+
+* **generalize** — perturb one design dimension at a time
+  (:meth:`~repro.explore.space.DesignSpace.neighborhood`) and re-check
+  each variant, mapping how far the failure extends;
+* **minimize** — bisect the trace length down toward the 500-instruction
+  floor (the scale knob is the witness's dominant cost), keeping the
+  smallest still-failing scale, then walk each ordinal config dimension
+  downward while the failure persists (config shrinking);
+* **record** — emit a content-addressed witness
+  (:mod:`repro.discover.witness`) into the corpus under the result
+  store, which doubles as regression registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.discover.oracles import ORACLES, Finding, Oracle, resolve_oracles
+from repro.discover.witness import build_witness, save_witness
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.explore.space import DesignSpace, default_space
+
+__all__ = [
+    "DISCOVERY_BENCHMARKS",
+    "MIN_SCALE",
+    "DiscoveryContext",
+    "DiscoverySettings",
+    "DiscoveryReport",
+    "discovery_space",
+    "run_discovery",
+]
+
+#: Workload axis of the discovery space: the SPEC-profiled traces plus
+#: the synthetic stress generators, mixing memory-bound workloads (long
+#: quiescent stretches exercise the skipping kernel's idle fast path)
+#: with compute-bound ones (deep queue pressure exercises selection).
+DISCOVERY_BENCHMARKS = (
+    "gzip",
+    "mcf",
+    "twolf",
+    "art",
+    "ammp",
+    "ptrchase",
+    "streampump",
+    "phasemix",
+)
+
+#: Smallest trace the simulator accepts (RunScale's validated floor).
+MIN_SCALE = 500
+
+#: Single-dimension probes per finding during generalization.
+_GENERALIZE_LIMIT = 6
+
+#: Bisection stops when the bracket is this fraction of the discovery
+#: scale (never below 50 instructions) — enough to show the witness
+#: shrank, cheap enough to run per finding.
+_BISECT_PROBE_CAP = 12
+
+#: Config-shrinking probes per finding.
+_SHRINK_PROBE_CAP = 16
+
+#: Dimensions config shrinking walks downward. Categorical dimensions
+#: (kind, benchmark, max_chains) are identity, not size — changing them
+#: would be a different witness, not a smaller one.
+_SHRINK_DIMENSIONS = (
+    "int_queues",
+    "int_entries",
+    "fp_queues",
+    "fp_entries",
+    "issue_width",
+    "rob_entries",
+    "distributed_fus",
+)
+
+
+def discovery_space() -> DesignSpace:
+    """The default search space: full design axes x discovery workloads."""
+    return default_space(DISCOVERY_BENCHMARKS)
+
+
+def _scale(num_instructions: int, seed: int) -> RunScale:
+    """Discovery run scale: half the trace warms up, half is measured."""
+    return RunScale(
+        num_instructions=num_instructions,
+        warmup_instructions=num_instructions // 2,
+        seed=seed,
+    )
+
+
+class DiscoveryContext:
+    """Shared runner pool: one cached runner per (scale, leg) variant.
+
+    Every oracle leg — a kernel, an execution mode, a sampling plan, a
+    cache-key salt — gets its own :class:`ExperimentRunner`, but all of
+    them share one disk store, so re-checks during generalization and
+    minimization reuse everything already simulated and warm campaign
+    reruns never simulate at all.
+    """
+
+    def __init__(self, store=False, workers: int = 0) -> None:
+        self.store = store
+        self.workers = workers
+        self._runners: Dict[tuple, ExperimentRunner] = {}
+
+    def runner(
+        self,
+        scale: RunScale,
+        kernel: Optional[str] = None,
+        salt: Optional[str] = None,
+        sampling=None,
+    ) -> ExperimentRunner:
+        key = (scale, kernel, salt, sampling)
+        if key not in self._runners:
+            self._runners[key] = ExperimentRunner(
+                scale=scale,
+                store=self.store,
+                workers=self.workers,
+                kernel=kernel,
+                sampling=sampling,
+                key_salt=salt,
+            )
+        return self._runners[key]
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Telemetry summed across every runner this context created."""
+        totals = {"memory_hits": 0, "disk_hits": 0, "simulations": 0}
+        for runner in self._runners.values():
+            for name, value in runner.cache_stats().items():
+                totals[name] += value
+        return totals
+
+    def simulations(self) -> int:
+        return self.cache_stats()["simulations"]
+
+
+@dataclass(frozen=True)
+class DiscoverySettings:
+    """One campaign's complete configuration (all of it in the artifact)."""
+
+    rounds: int = 2
+    per_round: int = 6
+    scale: int = 1500
+    seed: int = 7
+    trace_seed: int = 11
+    oracles: Tuple[str, ...] = tuple(ORACLES)
+
+    def validate(self) -> None:
+        if self.rounds < 1:
+            raise ConfigurationError("need at least one discovery round")
+        if self.per_round < 1:
+            raise ConfigurationError("need at least one point per round")
+        _scale(self.scale, self.trace_seed).validate()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rounds": self.rounds,
+            "per_round": self.per_round,
+            "scale": self.scale,
+            "seed": self.seed,
+            "trace_seed": self.trace_seed,
+            "oracles": list(self.oracles),
+        }
+
+
+@dataclass
+class DiscoveryReport:
+    """Everything one campaign produced.
+
+    ``witnesses`` are the minimized findings (already persisted to the
+    corpus when a store was given); ``payload()`` is the deterministic
+    findings artifact — settings, per-round log and witnesses, but no
+    telemetry or timing, so cold and warm runs of one campaign write
+    byte-identical files. Telemetry lives on ``context`` for stdout.
+    """
+
+    settings: DiscoverySettings
+    witnesses: List[Dict[str, object]] = field(default_factory=list)
+    rounds_log: List[Dict[str, int]] = field(default_factory=list)
+    context: Optional[DiscoveryContext] = None
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "subsystem": "repro.discover",
+            "settings": self.settings.as_dict(),
+            "rounds": self.rounds_log,
+            "findings": self.witnesses,
+        }
+
+
+def _generalize(
+    finding: Finding,
+    space: DesignSpace,
+    ctx: DiscoveryContext,
+    oracle: Oracle,
+    seed: int,
+) -> List[Dict[str, object]]:
+    """Re-check single-dimension perturbations of a failing point."""
+    rng = make_rng(
+        seed, f"discover.generalize.{finding.oracle}.{finding.point.point_id}"
+    )
+    original = finding.point.assignment_dict
+    records: List[Dict[str, object]] = []
+    for variant in space.neighborhood(original, _GENERALIZE_LIMIT, rng):
+        try:
+            point = space.build_point(variant)
+        except ConfigurationError:
+            continue
+        if point.point_id == finding.point.point_id:
+            continue  # the perturbation repaired back onto the witness
+        changed = {
+            name: value
+            for name, value in variant.items()
+            if original.get(name) != value
+        }
+        records.append(
+            {
+                "changed": changed,
+                "still_fails": bool(oracle.run(ctx, [point], finding.scale)),
+            }
+        )
+    return records
+
+
+def _minimize_scale(
+    finding: Finding, ctx: DiscoveryContext, oracle: Oracle
+) -> Tuple[RunScale, Tuple[str, ...], int]:
+    """Bisect the trace length; smallest still-failing scale found.
+
+    Invariant: ``hi`` always fails (it starts at the discovery scale,
+    where the finding was observed). ``lo`` starts just under the
+    simulator's 500-instruction floor, standing in for "too small to
+    run"; the bracket halves until it is within the granularity or the
+    probe budget runs out.
+    """
+    hi = finding.scale.num_instructions
+    lo = MIN_SCALE - 1
+    granularity = max(50, hi // 20)
+    best_scale = finding.scale
+    best_detail = finding.detail
+    probes = 0
+    while hi - lo > granularity and probes < _BISECT_PROBE_CAP:
+        mid = (lo + hi) // 2
+        if mid < MIN_SCALE:
+            break
+        trial = _scale(mid, finding.scale.seed)
+        failures = oracle.run(ctx, [finding.point], trial)
+        probes += 1
+        if failures:
+            hi = mid
+            best_scale = trial
+            best_detail = failures[0].detail
+        else:
+            lo = mid
+    return best_scale, best_detail, probes
+
+
+def _shrink_config(
+    finding: Finding,
+    space: DesignSpace,
+    ctx: DiscoveryContext,
+    oracle: Oracle,
+    scale: RunScale,
+    detail: Tuple[str, ...],
+):
+    """Walk size dimensions downward while the failure persists."""
+    assignment = dict(finding.point.assignment_dict)
+    point = finding.point
+    steps: List[Dict[str, object]] = []
+    probes = 0
+    for dimension in space.dimensions:
+        name = dimension.name
+        if name not in _SHRINK_DIMENSIONS or name not in assignment:
+            continue
+        while probes < _SHRINK_PROBE_CAP:
+            current = assignment[name]
+            if name == "distributed_fus":
+                if current is not True:
+                    break
+                candidate = False
+            else:
+                try:
+                    index = dimension.values.index(current)
+                except ValueError:
+                    break  # repaired value outside the declared domain
+                if index == 0:
+                    break
+                candidate = dimension.values[index - 1]
+            variant = dict(assignment)
+            variant[name] = candidate
+            try:
+                smaller = space.build_point(variant)
+            except ConfigurationError:
+                break
+            if smaller.point_id == point.point_id:
+                break  # repair collapsed the step; no progress possible
+            failures = oracle.run(ctx, [smaller], scale)
+            probes += 1
+            if not failures:
+                break
+            assignment = variant
+            point = smaller
+            detail = failures[0].detail
+            steps.append({"dimension": name, "from": current, "to": candidate})
+    return point, detail, steps, probes
+
+
+def _investigate(
+    finding: Finding,
+    space: DesignSpace,
+    ctx: DiscoveryContext,
+    settings: DiscoverySettings,
+    round_index: int,
+) -> Dict[str, object]:
+    """Generalize + minimize one finding into its witness record."""
+    oracle = ORACLES[finding.oracle]
+    generalization = _generalize(finding, space, ctx, oracle, settings.seed)
+    scale, detail, bisect_probes = _minimize_scale(finding, ctx, oracle)
+    point, detail, shrink_steps, shrink_probes = _shrink_config(
+        finding, space, ctx, oracle, scale, detail
+    )
+    return build_witness(
+        finding.oracle,
+        point,
+        scale,
+        detail,
+        discovered={
+            "round": round_index + 1,
+            "scale": finding.scale.num_instructions,
+            "point_id": finding.point.point_id,
+        },
+        generalization=generalization,
+        minimization={
+            "scale": scale.num_instructions,
+            "bisection_probes": bisect_probes,
+            "shrink_probes": shrink_probes,
+            "shrunk": shrink_steps,
+        },
+    )
+
+
+def run_discovery(
+    settings: DiscoverySettings,
+    store=False,
+    space: Optional[DesignSpace] = None,
+    oracles: Optional[Sequence[Oracle]] = None,
+    workers: int = 0,
+    progress=None,
+) -> DiscoveryReport:
+    """Run one campaign; returns the report (witnesses already saved).
+
+    ``store`` is the shared disk layer (a
+    :class:`~repro.experiments.store.ResultStore` or ``False`` for
+    none); witnesses are persisted into its corpus when present.
+    ``space``/``oracles`` default to the discovery space and the
+    settings' oracle selection — tests narrow both to keep budgets
+    small. ``workers`` sizes the parallel-oracle pool and batched runs;
+    it is a wall-clock knob only and never reaches the artifact.
+    ``progress`` is an optional ``str -> None`` callback (the CLI
+    prints; the library stays silent).
+    """
+    settings.validate()
+    if space is None:
+        space = discovery_space()
+    if oracles is None:
+        oracles = [ORACLES[name] for name in settings.oracles]
+    say = progress if progress is not None else (lambda message: None)
+    ctx = DiscoveryContext(store=store, workers=workers)
+    report = DiscoveryReport(settings=settings, context=ctx)
+    scale = _scale(settings.scale, settings.trace_seed)
+    seen = set()
+    witness_keys = set()
+    for round_index in range(settings.rounds):
+        assignments = space.random_assignments(
+            settings.per_round, seed=settings.seed + 1009 * round_index
+        )
+        points = space.expand(assignments)
+        fresh: List[Finding] = []
+        for oracle in oracles:
+            for finding in oracle.run(ctx, points, scale):
+                key = (finding.oracle, finding.point.point_id)
+                if key not in seen:
+                    seen.add(key)
+                    fresh.append(finding)
+        say(
+            f"round {round_index + 1}: {len(points)} point(s), "
+            f"{len(fresh)} new finding(s)"
+        )
+        for finding in fresh:
+            witness = _investigate(finding, space, ctx, settings, round_index)
+            if witness["witness_key"] in witness_keys:
+                # Distinct discovered points can minimize onto one
+                # witness — content addressing collapses them.
+                continue
+            witness_keys.add(witness["witness_key"])
+            if store:
+                save_witness(witness, store.root)
+            report.witnesses.append(witness)
+            say(
+                f"  {witness['oracle']} @ {witness['label']}: minimized to "
+                f"{witness['minimization']['scale']} instructions "
+                f"(witness {witness['witness_key'][:12]})"
+            )
+        report.rounds_log.append(
+            {
+                "round": round_index + 1,
+                "points": len(points),
+                "new_findings": len(fresh),
+            }
+        )
+    return report

@@ -332,6 +332,24 @@ def main(argv: List[str] = None) -> None:
     args = parser.parse_args(argv)
 
     if args.list:
+        # --list is a pure catalog query; accepting run-only flags next
+        # to it would silently ignore them (the early return below never
+        # reaches the run path), so any non-default run flag is an error.
+        run_only = (
+            "scale", "seed", "figures", "schemes", "workers", "benchmarks",
+            "kernel", "sampling", "sampling_validate", "cache_dir",
+            "no_cache", "output", "output_path",
+        )
+        ignored = [
+            "--" + name.replace("_", "-")
+            for name in run_only
+            if getattr(args, name) != parser.get_default(name)
+        ]
+        if ignored:
+            parser.error(
+                f"--list prints the catalog and exits; it cannot be combined "
+                f"with run flags ({', '.join(ignored)})"
+            )
         print(render_catalog())
         return
 

@@ -207,6 +207,7 @@ class ExperimentRunner:
         workers: int = 0,
         kernel: Optional[str] = None,
         sampling=None,
+        key_salt: Optional[str] = None,
     ) -> None:
         scale.validate()
         self.scale = scale
@@ -223,6 +224,7 @@ class ExperimentRunner:
             self.store = store
         self.workers = workers
         self.kernel = kernel
+        self.key_salt = key_salt
         self.telemetry = CacheTelemetry()
         self._trace_cache: Dict[str, Trace] = {}
         self._result_cache: Dict[Tuple[str, SchemeOrConfig], SimulationStats] = {}
@@ -255,13 +257,17 @@ class ExperimentRunner:
         """Content address of this pair's result at this runner's scale.
 
         With a sampling plan configured the plan is part of the address,
-        so sampled estimates and full results occupy disjoint keys.
+        so sampled estimates and full results occupy disjoint keys; a
+        ``key_salt`` partitions this runner's results into their own
+        namespace (differential oracles salt each leg so contractually
+        bit-identical runs cannot serve each other's cache entries).
         """
         return result_key(
             resolve_config(scheme),
             get_profile(benchmark),
             self.scale,
             sampling=self.sampling,
+            salt=self.key_salt,
         )
 
     def cache_stats(self) -> Dict[str, int]:

@@ -32,9 +32,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
+from repro.common import faults
 from repro.common.config import ProcessorConfig, stable_fingerprint
 from repro.common.stats import SimulationStats
 from repro.workloads.profiles import WorkloadProfile
@@ -43,11 +45,13 @@ __all__ = [
     "ResultStore",
     "SIMULATOR_VERSION_TAG",
     "SAMPLING_VERSION_TAG",
+    "STALE_TMP_AGE_SECONDS",
     "result_key",
     "default_cache_dir",
     "simulator_sources_digest",
     "package_sources_digest",
     "atomic_write_json",
+    "sweep_stale_tmp",
 ]
 
 
@@ -72,6 +76,48 @@ def atomic_write_json(path: Path, payload: dict) -> Path:
             pass
         raise
     return path
+
+
+#: A ``*.tmp`` file this old is an orphan, not a live write. Atomic
+#: writes hold their temp file for milliseconds; an hour of slack keeps
+#: the sweep unable to race even a worker wedged mid-write on a
+#: pathologically loaded machine.
+STALE_TMP_AGE_SECONDS = 3600.0
+
+
+def sweep_stale_tmp(root: os.PathLike, max_age: float = STALE_TMP_AGE_SECONDS) -> int:
+    """Best-effort removal of orphaned atomic-write temp files.
+
+    Every atomic writer in the tree (results, checkpoints, trace spills,
+    artifacts) stages through ``mkstemp(suffix=".tmp")`` + ``os.replace``
+    and unlinks its temp file on failure — but a SIGKILLed worker
+    unlinks nothing, so orphans accumulate under ``$REPRO_CACHE_DIR``
+    forever. This sweep deletes ``*.tmp`` files older than ``max_age``
+    seconds anywhere under ``root`` and returns the count removed.
+
+    It cannot race a live writer (young temp files are skipped, and a
+    writer that somehow loses its file to the sweep fails loudly at
+    ``os.replace`` rather than corrupting anything) and it never raises:
+    cache hygiene must not take down the run — every OS error skips the
+    file, a failing directory walk just ends the sweep early.
+    """
+    removed = 0
+    try:
+        root = Path(root)
+        if not root.is_dir():
+            return 0
+        now = time.time()
+        for path in root.rglob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime >= max_age:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+    except OSError:
+        pass
+    return removed
+
 
 #: Packages whose sources determine simulated behaviour. Anything that
 #: can change a statistic — pipeline timing, the ISA's op classes and
@@ -143,7 +189,11 @@ def default_cache_dir() -> Path:
 
 
 def result_key(
-    config: ProcessorConfig, profile: WorkloadProfile, scale, sampling=None
+    config: ProcessorConfig,
+    profile: WorkloadProfile,
+    scale,
+    sampling=None,
+    salt: Optional[str] = None,
 ) -> str:
     """Content address of one simulation result.
 
@@ -153,8 +203,20 @@ def result_key(
     anywhere in the inputs — nested config, profile knob, scale,
     sampling plan, simulator version — produces a different key; in
     particular a sampled result can never alias the full-run result of
-    the same pair, and full-run keys are byte-for-byte what they were
-    before sampling existed.
+    the same pair, and keys without a salt or armed fault are
+    byte-for-byte what they were before those inputs existed.
+
+    ``salt`` partitions the key space on purpose. The processor config
+    deliberately excludes the simulation kernel from its fingerprint
+    (both kernels are bit-identical *by contract*), so a differential
+    oracle that re-ran one pair under each kernel through the normal
+    cache would hit the first kernel's entry for the second and never
+    see a divergence — it must salt each leg into its own namespace.
+
+    Armed faults (:mod:`repro.common.faults`) are *always* part of the
+    material: a fault changes simulated behaviour at runtime, invisibly
+    to the source-derived version tag, so a faulty result must never be
+    stored under — or served for — a clean key.
     """
     material = {
         "version": SIMULATOR_VERSION_TAG,
@@ -165,6 +227,11 @@ def result_key(
     if sampling is not None:
         material["sampling"] = stable_fingerprint(sampling)
         material["sampling_version"] = SAMPLING_VERSION_TAG
+    if salt is not None:
+        material["salt"] = salt
+    active = faults.active_faults()
+    if active:
+        material["faults"] = list(active)
     return hashlib.sha256(
         json.dumps(material, sort_keys=True).encode("utf-8")
     ).hexdigest()
@@ -175,6 +242,11 @@ class ResultStore:
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        # Cache hygiene: reap temp files orphaned by SIGKILLed writers.
+        # The sweep covers the whole tree (results, traces, checkpoints)
+        # and only touches files old enough that no live writer can
+        # still own them.
+        sweep_stale_tmp(self.root)
 
     @classmethod
     def from_env(cls) -> Optional["ResultStore"]:

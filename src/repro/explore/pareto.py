@@ -24,7 +24,8 @@ objective by the frontier's own value range), and
 :func:`crowding_select` applies NSGA-II crowding-distance selection
 when the frontier outgrows the per-round neighbourhood budget —
 boundary points always survive, then the least-crowded interior points.
-Both are deterministic in input order.
+Both break ties canonically (objective vector, then point id), so the
+selected *set* does not depend on the order scores arrive in.
 """
 
 from __future__ import annotations
@@ -126,6 +127,27 @@ def fold_frontier(
     return front
 
 
+def _canonical_order(
+    scores: Sequence[PointScore], keys: Sequence[str]
+) -> List[int]:
+    """Indices of ``scores`` in a permutation-invariant processing order.
+
+    Sorts by the objective vector, then by ``point_id`` so distinct
+    points with tied objectives still rank identically however the
+    caller happened to order them; the input index is the final
+    tie-break only for exact duplicates (same point, same vector),
+    where the choice is immaterial.
+    """
+    return sorted(
+        range(len(scores)),
+        key=lambda i: (
+            tuple(scores[i].objectives[key] for key in keys),
+            scores[i].point.point_id,
+            i,
+        ),
+    )
+
+
 def epsilon_front(
     scores: Sequence[PointScore],
     epsilon: float,
@@ -138,9 +160,14 @@ def epsilon_front(
     ``range`` is the frontier's own spread on that objective (so one
     epsilon works across axes with different units — percent IPC loss
     vs. normalized energy ratios). ``epsilon = 0`` only collapses
-    points whose objective vectors tie exactly (first representative
-    wins); a negative epsilon raises :class:`ValueError`.
-    Deterministic: input order decides which representative survives.
+    points whose objective vectors tie exactly.
+
+    Candidates are considered in a canonical order (objective vector,
+    then point id) and survivors are returned in input order, so the
+    *set* kept is invariant under any permutation of ``scores`` —
+    which representative survives a near-duplicate cluster is a
+    property of the points, never of their arrival order. A negative
+    epsilon raises :class:`ValueError`.
     """
     if epsilon < 0:
         raise ValueError("epsilon cannot be negative")
@@ -150,17 +177,19 @@ def epsilon_front(
     for key in keys:
         values = [score.objectives[key] for score in scores]
         tolerance[key] = epsilon * (max(values) - min(values))
-    kept: List[PointScore] = []
-    for candidate in scores:
+    kept: List[int] = []
+    for index in _canonical_order(scores, keys):
+        candidate = scores[index]
         if not any(
             all(
-                member.objectives[key] <= candidate.objectives[key] + tolerance[key]
+                scores[member].objectives[key]
+                <= candidate.objectives[key] + tolerance[key]
                 for key in keys
             )
             for member in kept
         ):
-            kept.append(candidate)
-    return kept
+            kept.append(index)
+    return [scores[i] for i in sorted(kept)]
 
 
 def crowding_distances(
@@ -168,16 +197,24 @@ def crowding_distances(
 ) -> List[float]:
     """NSGA-II crowding distance of every score (input order).
 
-    Per objective, scores are sorted (ties broken by input index for
-    determinism); the extremes get infinite distance and interior
-    points accumulate the normalized gap between their neighbours.
+    Per objective, scores are sorted (ties broken by point id, then
+    input index, so permuting the input permutes the distances with
+    it); the extremes get infinite distance and interior points
+    accumulate the normalized gap between their neighbours.
     """
     n = len(scores)
     distances = [0.0] * n
     if n <= 2:
         return [float("inf")] * n
     for key in keys:
-        order = sorted(range(n), key=lambda i: (scores[i].objectives[key], i))
+        order = sorted(
+            range(n),
+            key=lambda i: (
+                scores[i].objectives[key],
+                scores[i].point.point_id,
+                i,
+            ),
+        )
         low = scores[order[0]].objectives[key]
         high = scores[order[-1]].objectives[key]
         span = high - low
@@ -204,16 +241,20 @@ def crowding_select(
 ) -> List[PointScore]:
     """At most ``budget`` scores, preferring the least crowded.
 
-    Selection ranks by descending crowding distance with input index as
-    the deterministic tie-break (so objective-extreme points always
-    survive), then restores input order.
+    Selection ranks by descending crowding distance; ties break by
+    point id and then input index, so the chosen *set* is invariant
+    under permutations of ``scores`` (objective-extreme points always
+    survive either way). The selection is returned in input order.
     """
     if budget < 1:
         raise ValueError("crowding budget must be at least 1")
     if len(scores) <= budget:
         return list(scores)
     distances = crowding_distances(scores, keys)
-    ranked = sorted(range(len(scores)), key=lambda i: (-distances[i], i))
+    ranked = sorted(
+        range(len(scores)),
+        key=lambda i: (-distances[i], scores[i].point.point_id, i),
+    )
     chosen = sorted(ranked[:budget])
     return [scores[i] for i in chosen]
 

@@ -79,7 +79,13 @@ class CheckpointStore:
     """Directory of warmed-state snapshots, content-addressed."""
 
     def __init__(self, root: os.PathLike) -> None:
+        from repro.experiments.store import sweep_stale_tmp
+
         self.root = Path(root)
+        # Reap temp files orphaned by SIGKILLed workers (a standalone
+        # checkpoint dir is not covered by a ResultStore's init sweep);
+        # best-effort and age-gated, so live writers are never raced.
+        sweep_stale_tmp(self.root)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

@@ -370,7 +370,16 @@ def estimate_sampled(
     ``config`` is the :class:`~repro.common.config.ProcessorConfig` the
     slices ran under (it prices the energy events); ``total_instructions``
     is the size of the full measured region the estimates extrapolate to.
+
+    The plan is validated here as well as at plan construction: a
+    degenerate plan built directly (a single slice has zero degrees of
+    freedom for the t-interval; an unsupported confidence level has no
+    critical values) must fail with a clear
+    :class:`~repro.common.errors.ConfigurationError` at the estimator
+    boundary, never as an IndexError or ZeroDivisionError deep in the
+    SEM arithmetic.
     """
+    plan.validate()
     if not slices:
         raise ConfigurationError("sampled run produced no slices")
     if len(slices) != len(windows):

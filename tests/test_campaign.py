@@ -85,12 +85,21 @@ class TestListCatalog:
         assert "naive" in out and "skip" in out
         assert "sampled (--sampling)" in out
 
-    def test_list_ignores_other_flags_and_simulates_nothing(self, capsys,
-                                                            tmp_path):
-        main(["--list", "--scale", "100000", "--cache-dir", str(tmp_path)])
+    def test_list_simulates_nothing(self, capsys):
+        main(["--list"])
         out = capsys.readouterr().out
         assert "Campaign catalog" in out
         assert "campaign:" not in out  # no footer: nothing ran
+
+    def test_list_rejects_run_flags(self, capsys, tmp_path):
+        # --list used to silently ignore run flags; an invocation like
+        # `--list --scale 100000` now fails loudly instead of letting
+        # the caller believe a run was configured.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--list", "--scale", "100000", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--list" in err and "--scale" in err and "--cache-dir" in err
         assert not any(tmp_path.iterdir())  # and nothing was cached
 
     def test_catalog_schemes_match_figure_matrix(self):

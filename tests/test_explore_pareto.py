@@ -289,3 +289,60 @@ class TestCrowdingSelection:
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValueError):
             crowding_select([], 0, KEYS)
+
+
+class TestOrderInvariance:
+    """Frontier thinning must be a property of the point set, never of
+    the order scores happen to arrive in (dict iteration, parallel
+    completion order, ...)."""
+
+    def distinct_scores(self, vectors):
+        space = default_space(["gzip"])
+        variants = [
+            {"int_queues": 4},
+            {"int_queues": 8},
+            {"int_queues": 12},
+            {"int_queues": 16},
+            {"int_queues": 4, "rob_entries": 128},
+            {"int_queues": 8, "rob_entries": 128},
+        ]
+        return [
+            fake_score(space, dict(zip(KEYS, vector)), **variant)
+            for vector, variant in zip(vectors, variants)
+        ]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_epsilon_front_kept_set_survives_permutation(self, seed):
+        scores = self.distinct_scores(
+            [(0.0, 10.0), (0.2, 9.9), (5.0, 5.0), (5.2, 4.9), (10.0, 0.0)]
+        )
+        baseline = {s.point.point_id for s in epsilon_front(scores, 0.1, KEYS)}
+        shuffled = scores[:]
+        random.Random(seed).shuffle(shuffled)
+        permuted = epsilon_front(shuffled, 0.1, KEYS)
+        assert {s.point.point_id for s in permuted} == baseline
+        # Survivors still come back in the caller's input order.
+        indexes = [shuffled.index(s) for s in permuted]
+        assert indexes == sorted(indexes)
+
+    def test_zero_epsilon_tie_representative_is_canonical(self):
+        space = default_space(["gzip"])
+        twin_a = fake_score(space, {"a": 1.0, "b": 1.0}, int_queues=4)
+        twin_b = fake_score(space, {"a": 1.0, "b": 1.0}, int_queues=8)
+        forward = epsilon_front([twin_a, twin_b], 0.0, KEYS)
+        backward = epsilon_front([twin_b, twin_a], 0.0, KEYS)
+        assert len(forward) == len(backward) == 1
+        assert forward[0].point.point_id == backward[0].point.point_id
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crowding_select_chosen_set_survives_permutation(self, seed):
+        scores = self.distinct_scores(
+            [(0.0, 10.0), (1.0, 8.9), (1.1, 8.8), (5.0, 5.0), (10.0, 0.0)]
+        )
+        baseline = {s.point.point_id for s in crowding_select(scores, 3, KEYS)}
+        shuffled = scores[:]
+        random.Random(seed).shuffle(shuffled)
+        permuted = crowding_select(shuffled, 3, KEYS)
+        assert {s.point.point_id for s in permuted} == baseline
+        indexes = [shuffled.index(s) for s in permuted]
+        assert indexes == sorted(indexes)

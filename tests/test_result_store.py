@@ -254,3 +254,50 @@ class TestSampledPayloads:
         raw = path.read_bytes()
         path.write_bytes(raw[: len(raw) - 40])
         assert store.load_with_extra(key_for()) is None
+
+
+class TestStaleTmpSweep:
+    """Orphaned atomic-write temp files are reaped at store init."""
+
+    def _orphan(self, directory, name="deadbeef.tmp"):
+        import os
+        import time
+
+        from repro.experiments.store import STALE_TMP_AGE_SECONDS
+
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / name
+        path.write_text("half-written")
+        stale = time.time() - STALE_TMP_AGE_SECONDS - 60
+        os.utime(path, (stale, stale))
+        return path
+
+    def test_old_orphans_reaped_live_writes_and_results_kept(self, tmp_path):
+        from repro.experiments.store import sweep_stale_tmp
+
+        orphan = self._orphan(tmp_path / "ab")
+        nested = self._orphan(tmp_path / "traces", name="spill.tmp")
+        fresh = tmp_path / "ab" / "inflight.tmp"
+        fresh.write_text("live writer")
+        result = tmp_path / "ab" / "result.json"
+        result.write_text("{}")
+        assert sweep_stale_tmp(tmp_path) == 2
+        assert not orphan.exists() and not nested.exists()
+        assert fresh.exists() and result.exists()
+
+    def test_result_store_init_sweeps(self, tmp_path):
+        orphan = self._orphan(tmp_path / "cd")
+        ResultStore(tmp_path)
+        assert not orphan.exists()
+
+    def test_checkpoint_store_init_sweeps(self, tmp_path):
+        from repro.sampling import CheckpointStore
+
+        orphan = self._orphan(tmp_path / "ef")
+        CheckpointStore(tmp_path)
+        assert not orphan.exists()
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        from repro.experiments.store import sweep_stale_tmp
+
+        assert sweep_stale_tmp(tmp_path / "never-created") == 0

@@ -162,6 +162,25 @@ class TestEstimator:
         with pytest.raises(ConfigurationError):
             estimate_sampled(PLAN, CONFIG, [], [], 100)
 
+    def test_degenerate_plans_fail_at_the_estimator_boundary(self):
+        # Dataclass construction skips validation, so a plan built
+        # directly (not via from_spec/from_dict) can reach the estimator
+        # degenerate. A single slice has zero degrees of freedom and an
+        # unsupported confidence has no t-table — both must surface as
+        # ConfigurationError here, never as IndexError/ZeroDivisionError
+        # inside the SEM arithmetic.
+        sampled, __ = simulate_sampled_pair(BENCH, IQ_64_64, SCALE, PLAN)
+        windows, slices = sampled.windows[:1], [sampled.stats]
+        single_slice = SamplingPlan(num_slices=1, slice_instructions=200,
+                                    warmup_instructions=150)
+        with pytest.raises(ConfigurationError):
+            estimate_sampled(single_slice, CONFIG, windows, slices, 2000)
+        odd_confidence = SamplingPlan(num_slices=4, slice_instructions=200,
+                                      warmup_instructions=150, confidence=0.80)
+        with pytest.raises(ConfigurationError):
+            estimate_sampled(odd_confidence, CONFIG, sampled.windows,
+                             slices * 4, 2000)
+
 
 class TestFunctionalWarmer:
     def test_state_is_path_independent(self):
