@@ -11,9 +11,10 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — dynamic instructions per run (default 4000);
   raising it gives higher-fidelity numbers and a different cache
   universe (scale is part of the cache key).
-* ``REPRO_BENCH_KERNEL`` — simulation kernel, ``skip`` (default) or
-  ``naive``; results are bit-identical, only wall time changes (and the
-  kernel is *not* part of the cache key).
+* ``REPRO_BENCH_KERNEL`` — simulation kernel: ``skip`` (default),
+  ``naive``, or the ``vectorized``/``specialized`` backends; results
+  are bit-identical, only wall time changes (and the kernel is *not*
+  part of the cache key).
 * ``REPRO_CACHE_DIR`` — where results persist (default
   ``~/.cache/repro-abella04``). Delete the directory for a cold run.
 

@@ -1,11 +1,12 @@
 """One-figure kernel smoke benchmark for CI.
 
 Runs a single figure's (benchmark, scheme) matrix cold — no disk cache —
-under both simulation kernels and records wall time plus the
+under every simulation kernel (``naive``, ``skip``, and the
+``vectorized``/``specialized`` backends) and records wall time plus the
 simulated-vs-skipped cycle telemetry as a ``BENCH_kernel_smoke.json``
-artifact. This is the recorded evidence that (a) the cycle-skipping
-kernel and the naive kernel agree bit-for-bit on the whole matrix and
-(b) how much simulated time and wall clock the event wheel saves.
+artifact. This is the recorded evidence that (a) every kernel agrees
+bit-for-bit with ``naive`` on the whole matrix and (b) how much wall
+clock each execution strategy saves.
 
 Usage::
 
@@ -20,10 +21,14 @@ import json
 import platform
 import time
 
+from repro.common.config import VALID_KERNELS
 from repro.core import engine
 from repro.experiments import figures as fig_mod
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.workloads.prewarm import clear_prewarm_cache
+
+#: naive first: it is the bit-identity reference for everything after it.
+SMOKE_KERNELS = tuple(VALID_KERNELS)
 
 
 def run_smoke(figure: int, scale_instructions: int) -> dict:
@@ -41,7 +46,7 @@ def run_smoke(figure: int, scale_instructions: int) -> dict:
         "kernels": {},
     }
     payloads = {}
-    for kernel in ("naive", "skip"):
+    for kernel in SMOKE_KERNELS:
         engine.GLOBAL_TELEMETRY.reset()
         clear_prewarm_cache()
         runner = ExperimentRunner(scale, store=False, kernel=kernel)
@@ -55,13 +60,24 @@ def run_smoke(figure: int, scale_instructions: int) -> dict:
             "cycles_executed": telemetry.executed_cycles,
             "cycles_skipped": telemetry.skipped_cycles,
             "skip_spans": telemetry.skip_spans,
+            "bit_identical_to_naive": payloads[kernel] == payloads["naive"],
         }
     naive = report["kernels"]["naive"]
     skip = report["kernels"]["skip"]
-    report["bit_identical"] = payloads["naive"] == payloads["skip"]
+    report["bit_identical"] = all(
+        entry["bit_identical_to_naive"] for entry in report["kernels"].values()
+    )
     report["speedup_skip_vs_naive"] = round(
         naive["wall_time_s"] / max(skip["wall_time_s"], 1e-9), 3
     )
+    for kernel in SMOKE_KERNELS:
+        if kernel in ("naive", "skip"):
+            continue
+        report[f"speedup_{kernel}_vs_skip"] = round(
+            skip["wall_time_s"]
+            / max(report["kernels"][kernel]["wall_time_s"], 1e-9),
+            3,
+        )
     total = skip["cycles_executed"] + skip["cycles_skipped"]
     report["skipped_cycle_fraction"] = round(
         skip["cycles_skipped"] / max(total, 1), 4
@@ -83,7 +99,12 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
     print(json.dumps(report, indent=2, sort_keys=True))
     if not report["bit_identical"]:
-        print("FATAL: kernels disagree — the skipping kernel is unsound")
+        divergent = sorted(
+            name
+            for name, entry in report["kernels"].items()
+            if not entry["bit_identical_to_naive"]
+        )
+        print(f"FATAL: kernels disagree with naive: {', '.join(divergent)}")
         return 1
     return 0
 

@@ -1,0 +1,56 @@
+"""The simulation-backend contract.
+
+A *backend* is a detailed-path execution strategy for one
+:class:`~repro.core.processor.Processor` run — the same role the built-in
+``naive``/``skip`` loops of :mod:`repro.core.engine` play, packaged
+behind a small formal interface so alternative hosts for the hot loop
+(numpy structure-of-arrays batching, per-config generated kernels, a
+future compiled core) can slot under ``ProcessorConfig.kernel`` without
+touching the engine.
+
+The contract, in full:
+
+* ``run(processor, total, max_cycles, warmup_instructions)`` simulates
+  until ``total`` instructions commit and returns
+  :class:`~repro.common.stats.SimulationStats` — with the **same
+  signature and semantics** as :func:`repro.core.engine.run_naive`. It
+  must fill ``processor.kernel_telemetry`` and raise
+  :class:`~repro.common.errors.SimulationError` on forward-progress
+  failure, exactly like the built-in kernels.
+* **Bit identity**: every statistic the run reports must be
+  field-for-field equal to the ``naive`` kernel's on the same inputs.
+  A backend is an execution strategy, never simulated behaviour; the
+  randomized differential net (``tests/test_kernel_equivalence.py``) and
+  the discovery kernel-equivalence oracle enforce this.
+* Backends may replace or subclass pipeline components on the processor
+  instance they are handed (the vectorized backend swaps in a
+  numpy-mirrored scoreboard and SoA issue-queue adapters), but only
+  state private to that instance: checkpoints restored *before*
+  ``Processor.run`` (sampled slices) and prewarm memoization touch the
+  memory hierarchy and predictor only, which backends must not rehost.
+* Backend names are first-class kernel names: they validate through
+  ``ProcessorConfig.kernel``, stay excluded from cache fingerprints
+  (``_FINGERPRINT_EXCLUDE``), and the backends package is part of the
+  source material of ``SIMULATOR_VERSION_TAG`` so editing a backend
+  invalidates cached results.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationBackend"]
+
+
+class SimulationBackend:
+    """One detailed-path execution strategy (see module docstring)."""
+
+    #: Kernel name this backend registers as (``ProcessorConfig.kernel``).
+    name = "abstract"
+
+    def run(self, processor, total: int, max_cycles: int, warmup_instructions: int):
+        """Simulate ``processor`` until ``total`` instructions commit.
+
+        Same signature, return value, telemetry and error behaviour as
+        :func:`repro.core.engine.run_naive`; must be bit-identical to it
+        on every reported statistic.
+        """
+        raise NotImplementedError

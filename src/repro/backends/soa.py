@@ -1,0 +1,333 @@
+"""Structure-of-arrays hosts for scoreboard and issue-queue hot state.
+
+The wakeup/select inner loops of the interpreted pipeline walk Python
+lists of :class:`~repro.core.uop.InFlight` objects and ask the scoreboard
+about one operand at a time. This module re-hosts exactly that state as
+numpy arrays so the loops become batched comparisons:
+
+* :class:`VectorScoreboard` — keeps the Python ready-cycle lists
+  *authoritative* (every scalar read stays plain-``int``, so cycle
+  arithmetic, dict keys and JSON payloads can never grow ``np.int64``)
+  and mirrors them into one flat ``int64`` vector for batched gathers.
+  The last vector slot is a sentinel that always reads "ready at 0", so
+  fixed-width operand rows can pad with it harmlessly.
+* :class:`VectorConventionalIssueQueue` — a class-swap subclass of the
+  CAM/RAM baseline maintaining per-side operand-index matrices
+  incrementally (append at dispatch, mask-compaction at issue), giving
+  vectorized wakeup accounting, ready-bound scans, selection pregating
+  and drain-span wakeup bounds.
+* :class:`VectorFifoSide` / :class:`VectorLatencyPlacedFifoSide` —
+  class-swap subclasses of the FIFO sides batching the per-head
+  ready-table accounting and the head wakeup bound.
+
+Operand rows are filled *lazily*: at ``try_dispatch`` time the uop's
+``src_phys`` is still empty (rename happens right after placement in
+``Processor._dispatch``), so rows are recorded pending and materialized
+at the first batched read — always a later pipeline stage, by which time
+renaming has run.
+
+Everything here is an execution strategy, not behaviour: each override
+is observationally identical to the interpreted method it replaces (same
+events, same issued sets, same wheel answers), which the kernel
+differential net enforces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+try:  # gate, don't require: only the vectorized backend needs numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None
+
+from repro.core.scoreboard import NEVER, Scoreboard
+from repro.issue.conventional import ConventionalIssueQueue
+from repro.issue.fifo_side import FifoSide
+from repro.issue.latfifo import LatencyPlacedFifoSide
+
+__all__ = [
+    "VectorScoreboard",
+    "VectorConventionalIssueQueue",
+    "VectorFifoSide",
+    "VectorLatencyPlacedFifoSide",
+    "numpy_available",
+]
+
+_NEVER = NEVER
+
+
+def numpy_available() -> bool:
+    return np is not None
+
+
+class VectorScoreboard(Scoreboard):
+    """Scoreboard with a flat numpy mirror of both register banks.
+
+    Layout: ``_vec[i]`` is the ready cycle of integer phys ``i``,
+    ``_vec[n_int + j]`` of FP phys ``j``; ``_vec[-1]`` is the always-ready
+    sentinel slot (value 0) used to pad fixed-width operand rows. The
+    inherited Python lists stay authoritative for every scalar read.
+    """
+
+    __slots__ = ("_vec", "_n_int")
+
+    @classmethod
+    def from_scoreboard(cls, scoreboard: Scoreboard) -> "VectorScoreboard":
+        """Adopt an existing scoreboard's state (snapshot adapter)."""
+        new = cls.__new__(cls)
+        new._int = scoreboard._int
+        new._fp = scoreboard._fp
+        new._version = scoreboard._version
+        new._n_int = len(new._int)
+        vec = np.empty(new._n_int + len(new._fp) + 1, dtype=np.int64)
+        vec[: new._n_int] = new._int
+        vec[new._n_int : -1] = new._fp
+        vec[-1] = 0
+        new._vec = vec
+        return new
+
+    @property
+    def sentinel_index(self) -> int:
+        """Flat index of the always-ready padding slot."""
+        return len(self._vec) - 1
+
+    def flat_index(self, phys) -> int:
+        is_fp, index = phys
+        return index + self._n_int if is_fp else index
+
+    # Mutators keep list and vector coherent; a single version bump each
+    # (no super() call — a double bump would skew the conventional
+    # scheme's version-keyed ready-bound cache revalidation pattern).
+    def mark_pending(self, phys) -> None:
+        is_fp, index = phys
+        if is_fp:
+            self._fp[index] = _NEVER
+            self._vec[index + self._n_int] = _NEVER
+        else:
+            self._int[index] = _NEVER
+            self._vec[index] = _NEVER
+        self._version += 1
+
+    def set_ready(self, phys, cycle: int) -> None:
+        is_fp, index = phys
+        if is_fp:
+            self._fp[index] = cycle
+            self._vec[index + self._n_int] = cycle
+        else:
+            self._int[index] = cycle
+            self._vec[index] = cycle
+        self._version += 1
+
+    # -- snapshot/restore adapters ------------------------------------
+    def export_state(self) -> dict:
+        """Plain-int snapshot of the readiness state (JSON-safe)."""
+        return {
+            "int": [int(v) for v in self._int],
+            "fp": [int(v) for v in self._fp],
+            "version": int(self._version),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot, rebuilding the mirror."""
+        self._int[:] = state["int"]
+        self._fp[:] = state["fp"]
+        self._version = state["version"]
+        self._vec[: self._n_int] = self._int
+        self._vec[self._n_int : -1] = self._fp
+        self._vec[-1] = 0
+
+
+def _flat_pair(srcs, n_int: int, sentinel: int) -> List[int]:
+    """Two flat operand indices for a ≤2-operand list, sentinel-padded."""
+    row = [sentinel, sentinel]
+    for k, (is_fp, index) in enumerate(srcs):
+        row[k] = index + n_int if is_fp else index
+    return row
+
+
+class VectorConventionalIssueQueue(ConventionalIssueQueue):
+    """SoA adapter for the CAM/RAM baseline (installed by class swap).
+
+    Per side, two ``(capacity, 2)`` matrices of flat operand indices into
+    the :class:`VectorScoreboard` vector — one over ``src_phys`` (wakeup
+    accounting) and one over ``issue_srcs`` (ready scans) — maintained
+    incrementally: rows append at dispatch (filled lazily, see module
+    docstring) and compact under a boolean keep-mask when entries issue.
+    """
+
+    def _init_vector_state(self, vsb: VectorScoreboard) -> None:
+        self._vsb = vsb
+        sentinel = vsb.sentinel_index
+        caps = (max(self._int_capacity, 1), max(self._fp_capacity, 1))
+        self._soa_src = [np.full((cap, 2), sentinel, dtype=np.intp) for cap in caps]
+        self._soa_iss = [np.full((cap, 2), sentinel, dtype=np.intp) for cap in caps]
+        self._soa_n = [0, 0]
+        self._soa_pending = [[], []]
+        # Mirror residents present at install time (normally none — the
+        # backend installs on a freshly built processor).
+        for side, queue in enumerate((self._int_queue, self._fp_queue)):
+            for row, uop in enumerate(queue):
+                self._soa_n[side] = row + 1
+                self._soa_pending[side].append((row, uop))
+
+    def _flush(self, side: int) -> None:
+        pending = self._soa_pending[side]
+        if not pending:
+            return
+        vsb = self._vsb
+        n_int = vsb._n_int
+        sentinel = vsb.sentinel_index
+        src = self._soa_src[side]
+        iss = self._soa_iss[side]
+        for row, uop in pending:
+            src[row] = _flat_pair(uop.src_phys, n_int, sentinel)
+            iss[row] = _flat_pair(uop.issue_srcs, n_int, sentinel)
+        pending.clear()
+
+    # -- overrides ----------------------------------------------------
+    def try_dispatch(self, uop, cycle: int) -> bool:
+        side = 1 if uop.op.is_fp else 0
+        queue, capacity = (
+            (self._fp_queue, self._fp_capacity)
+            if side
+            else (self._int_queue, self._int_capacity)
+        )
+        if len(queue) >= capacity:
+            return False
+        queue.append(uop)
+        self._queue_rev[side] += 1
+        self.events.add("iq_buff_write")
+        row = self._soa_n[side]
+        self._soa_n[side] = row + 1
+        # src_phys is renamed right after placement; fill the row at the
+        # first batched read instead of now.
+        self._soa_pending[side].append((row, uop))
+        return True
+
+    def select_and_issue(self, ctx):
+        issued = []
+        cycle = ctx.cycle
+        vec = self._vsb._vec
+        for side, queue in enumerate((self._int_queue, self._fp_queue)):
+            if not queue:
+                continue
+            self.events.add("iq_select_cycles")
+            self._flush(side)
+            n = self._soa_n[side]
+            maxes = vec[self._soa_iss[side][:n]].max(axis=1)
+            if self._scan_shortcircuit and int(maxes.min()) > cycle:
+                # Same bound as the interpreted ``_scan_may_issue``: the
+                # minimum over entries of their all-operands-ready cycle.
+                continue
+            # Pregate: during the issue stage readiness at ``cycle`` is
+            # frozen (set_ready only writes cycles >= cycle+1), so an
+            # entry whose operands are not ready now provably fails
+            # ``ctx.issue`` — which has zero side effects on failure.
+            ready = (maxes <= cycle).tolist()
+            taken = []
+            for i, uop in enumerate(queue):
+                if ready[i] and ctx.issue(uop):
+                    taken.append(i)
+                    issued.append(uop)
+            if taken:
+                keep = np.ones(n, dtype=bool)
+                keep[taken] = False
+                m = n - len(taken)
+                src = self._soa_src[side]
+                iss = self._soa_iss[side]
+                src[:m] = src[:n][keep]
+                iss[:m] = iss[:n][keep]
+                self._soa_n[side] = m
+                for i in reversed(taken):
+                    queue.pop(i)
+                self._queue_rev[side] += 1
+            self.events.add("iq_buff_read", len(taken))
+        return issued
+
+    def on_result_broadcast(self, cycle: int, broadcasts: int) -> None:
+        if broadcasts == 0:
+            return
+        self.events.add("iq_wakeup_broadcasts", broadcasts)
+        vec = self._vsb._vec
+        unready = 0
+        for side in (0, 1):
+            self._flush(side)
+            n = self._soa_n[side]
+            if n:
+                # Sentinel slots read 0, never > cycle, so padding does
+                # not count as an unready operand.
+                unready += int((vec[self._soa_src[side][:n]] > cycle).sum())
+        self.events.add("iq_wakeup_comparisons", broadcasts * unready)
+
+    def next_wakeup_cycle(self, cycle: int, scoreboard) -> Optional[int]:
+        vec = self._vsb._vec
+        earliest: Optional[int] = None
+        for side in (0, 1):
+            self._flush(side)
+            n = self._soa_n[side]
+            if not n:
+                continue
+            maxes = vec[self._soa_iss[side][:n]].max(axis=1)
+            candidates = maxes[(maxes >= cycle) & (maxes < _NEVER)]
+            if candidates.size:
+                when = int(candidates.min())
+                if earliest is None or when < earliest:
+                    earliest = when
+        return earliest
+
+
+class _VectorHeadMixin:
+    """Batched head accounting + vector wakeup for FIFO-style sides."""
+
+    def issue_heads(self, ctx, distributed: bool):
+        queues = self.queues
+        heads = []
+        total_reads = 0
+        for index, queue in enumerate(queues):
+            if queue:
+                head = queue[0]
+                heads.append((head.age, index))
+                total_reads += len(head.src_phys)
+        if not heads:
+            return []
+        # One summed add in place of one add per head: pure sums, and
+        # the zero-skip contract of StatCounters.add holds either way.
+        self.events.add("regs_ready_read", total_reads)
+        heads.sort()
+        issued = []
+        for __, index in heads:
+            head = queues[index][0]
+            queue_arg = index if distributed else None
+            if ctx.issue(head, queue_arg):
+                queues[index].popleft()
+                self.events.add(f"{self._event_prefix}_read")
+                issued.append(head)
+        return issued
+
+    def next_wakeup_cycle(self, cycle: int, scoreboard) -> Optional[int]:
+        vec = getattr(scoreboard, "_vec", None)
+        if vec is None:  # plain scoreboard: interpreted fallback
+            return super().next_wakeup_cycle(cycle, scoreboard)
+        n_int = scoreboard._n_int
+        sentinel = scoreboard.sentinel_index
+        rows = [
+            _flat_pair(queue[0].issue_srcs, n_int, sentinel)
+            for queue in self.queues
+            if queue
+        ]
+        if not rows:
+            return None
+        maxes = vec[np.asarray(rows, dtype=np.intp)].max(axis=1)
+        candidates = maxes[(maxes >= cycle) & (maxes < _NEVER)]
+        if candidates.size:
+            return int(candidates.min())
+        return None
+
+
+class VectorFifoSide(_VectorHeadMixin, FifoSide):
+    """Class-swap target for plain FIFO sides."""
+
+
+class VectorLatencyPlacedFifoSide(_VectorHeadMixin, LatencyPlacedFifoSide):
+    """Class-swap target for the LatFIFO estimate-placed FP side."""

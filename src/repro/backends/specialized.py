@@ -1,0 +1,31 @@
+"""The ``specialized`` backend: per-configuration compiled kernels.
+
+Profiles of the detailed path show CPython *call* overhead — the
+``IssueContext`` tower, per-operand scoreboard accessors,
+``StatCounters.add`` — dwarfing the actual work, so this backend
+generates one flat Python module per processor configuration
+(:mod:`repro.backends.codegen`), compiles it once, caches it
+content-addressed beside the result store
+(:mod:`repro.backends.kernel_cache`), and drives the run through it.
+Warm runs skip codegen entirely: in-process via the module memo, across
+processes via the on-disk cache.
+"""
+
+from __future__ import annotations
+
+from repro.backends import codegen, kernel_cache
+from repro.backends.base import SimulationBackend
+
+__all__ = ["SpecializedBackend"]
+
+
+class SpecializedBackend(SimulationBackend):
+    """Per-config generated kernel, bit-identical to ``naive`` by clone."""
+
+    name = "specialized"
+
+    def run(self, processor, total, max_cycles, warmup_instructions):
+        spec = codegen.kernel_spec(processor.config)
+        module = kernel_cache.load_kernel_module(spec)
+        kernel = module.make_kernel(processor)
+        return kernel(total, max_cycles, warmup_instructions)

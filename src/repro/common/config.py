@@ -23,6 +23,8 @@ __all__ = [
     "ProcessorConfig",
     "KERNEL_NAIVE",
     "KERNEL_SKIP",
+    "KERNEL_VECTORIZED",
+    "KERNEL_SPECIALIZED",
     "VALID_KERNELS",
     "default_config",
     "scheme_name",
@@ -190,12 +192,17 @@ class FunctionalUnitConfig(_Fingerprinted):
             raise ConfigurationError("all latencies must be >= 1 cycle")
 
 
-# Simulation-kernel constants (see repro.core.engine). The kernel is an
-# execution strategy, not simulated behaviour: both kernels must produce
-# bit-identical SimulationStats for every input.
+# Simulation-kernel constants (see repro.core.engine and repro.backends).
+# The kernel is an execution strategy, not simulated behaviour: every
+# kernel must produce bit-identical SimulationStats for every input.
+# ``naive``/``skip`` are the built-in engine loops; ``vectorized`` and
+# ``specialized`` are the detailed-path backends of :mod:`repro.backends`
+# (numpy structure-of-arrays batching and per-config generated kernels).
 KERNEL_NAIVE = "naive"
 KERNEL_SKIP = "skip"
-VALID_KERNELS = (KERNEL_NAIVE, KERNEL_SKIP)
+KERNEL_VECTORIZED = "vectorized"
+KERNEL_SPECIALIZED = "specialized"
+VALID_KERNELS = (KERNEL_NAIVE, KERNEL_SKIP, KERNEL_VECTORIZED, KERNEL_SPECIALIZED)
 
 # Scheme kind constants (strings keep configs printable and hashable).
 SCHEME_CONVENTIONAL = "conventional"

@@ -288,12 +288,14 @@ def run_sampled(
 def run_kernel(processor, kernel: str, total: int, max_cycles: int,
                warmup_instructions: int):
     """Dispatch to the requested kernel and fold telemetry globally."""
-    try:
-        runner = _KERNELS[kernel]
-    except KeyError:
-        raise SimulationError(
-            f"unknown simulation kernel {kernel!r}; valid: {sorted(_KERNELS)}"
-        ) from None
+    runner = _KERNELS.get(kernel)
+    if runner is None:
+        # Backend kernels (vectorized, specialized) live in repro.backends;
+        # imported lazily so the core engine stays dependency-light and
+        # get_backend keeps the single "unknown simulation kernel" error.
+        from repro.backends import get_backend
+
+        runner = get_backend(kernel).run
     try:
         return runner(processor, total, max_cycles, warmup_instructions)
     finally:

@@ -19,7 +19,15 @@ _NEVER = NEVER
 
 
 class Scoreboard:
-    """Ready cycles for both physical register files."""
+    """Ready cycles for both physical register files.
+
+    The accessors unpack ``(is_fp, index)`` tuples inline and select the
+    bank with a conditional expression rather than a helper call — these
+    run in the wakeup/select inner loops, where a Python-level call per
+    operand is measurable.
+    """
+
+    __slots__ = ("_int", "_fp", "_version")
 
     def __init__(self, num_phys_int: int, num_phys_fp: int, num_arch_int: int, num_arch_fp: int) -> None:
         self._int: List[int] = [_NEVER] * num_phys_int
@@ -34,9 +42,6 @@ class Scoreboard:
         for i in range(num_arch_fp):
             self._fp[i] = 0
 
-    def _bank(self, is_fp: bool) -> List[int]:
-        return self._fp if is_fp else self._int
-
     @property
     def version(self) -> int:
         """Monotonic counter of readiness mutations.
@@ -50,37 +55,44 @@ class Scoreboard:
     def mark_pending(self, phys: Tuple[bool, int]) -> None:
         """Destination allocated: value not available until set_ready."""
         is_fp, index = phys
-        self._bank(is_fp)[index] = _NEVER
+        (self._fp if is_fp else self._int)[index] = _NEVER
         self._version += 1
 
     def set_ready(self, phys: Tuple[bool, int], cycle: int) -> None:
         """Value of ``phys`` becomes available at ``cycle``."""
         is_fp, index = phys
-        self._bank(is_fp)[index] = cycle
+        (self._fp if is_fp else self._int)[index] = cycle
         self._version += 1
 
     def ready_cycle(self, phys: Tuple[bool, int]) -> int:
         """Cycle at which ``phys`` is (or will be) available."""
         is_fp, index = phys
-        return self._bank(is_fp)[index]
+        return (self._fp if is_fp else self._int)[index]
 
     def is_ready(self, phys: Tuple[bool, int], cycle: int) -> bool:
         """True if the value is available to an instruction issuing at ``cycle``."""
-        return self.ready_cycle(phys) <= cycle
+        is_fp, index = phys
+        return (self._fp if is_fp else self._int)[index] <= cycle
 
     def all_ready(self, phys_list, cycle: int) -> bool:
         """True if every register in ``phys_list`` is available at ``cycle``."""
-        return all(self.ready_cycle(p) <= cycle for p in phys_list)
+        fp, intb = self._fp, self._int
+        for is_fp, index in phys_list:
+            if (fp if is_fp else intb)[index] > cycle:
+                return False
+        return True
 
     def is_scheduled(self, phys: Tuple[bool, int]) -> bool:
         """True once the producer has issued (ready cycle is known)."""
-        return self.ready_cycle(phys) < _NEVER
+        is_fp, index = phys
+        return (self._fp if is_fp else self._int)[index] < _NEVER
 
     def operands_ready_cycle(self, phys_list) -> int:
         """Earliest cycle at which all operands are available (0 if none)."""
+        fp, intb = self._fp, self._int
         latest = 0
-        for p in phys_list:
-            r = self.ready_cycle(p)
+        for is_fp, index in phys_list:
+            r = (fp if is_fp else intb)[index]
             if r > latest:
                 latest = r
         return latest

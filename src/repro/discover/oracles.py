@@ -6,8 +6,9 @@ plus workload, see :class:`~repro.explore.space.DesignPoint`) at one
 :class:`Finding`\\ s. Two families:
 
 * **Differential** oracles run the same point twice along an axis that
-  is bit-identical *by contract* — the naive vs. cycle-skipping kernel,
-  serial vs. multiprocessing execution — and diff the full statistics.
+  is bit-identical *by contract* — naive vs. each other registered
+  kernel (skip and the vectorized/specialized backends), serial vs.
+  multiprocessing execution — and diff the full statistics.
   Each leg runs under its own cache-key salt: the processor fingerprint
   deliberately excludes the kernel (the contract says it cannot
   matter), so an unsalted differential would serve the first leg's
@@ -36,6 +37,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.config import KERNEL_NAIVE, VALID_KERNELS
 from repro.common.errors import ConfigurationError
 from repro.common.stats import SimulationStats
 from repro.experiments.runner import RunScale
@@ -354,21 +356,35 @@ class Oracle:
 class KernelEquivalenceOracle(Oracle):
     name = "kernel_equivalence"
     description = (
-        "naive and cycle-skipping kernels produce bit-identical statistics"
+        "every simulation kernel (skip and the vectorized/specialized "
+        "backends) produces statistics bit-identical to naive"
     )
 
     def run(self, ctx, points, scale):
-        naive = ctx.runner(scale, kernel="naive", salt="discover:kernel=naive")
-        skip = ctx.runner(scale, kernel="skip", salt="discover:kernel=skip")
+        # One salted runner per kernel: each leg gets its own cache-key
+        # namespace (see module docstring), and every registered kernel —
+        # built-in or backend — is differenced against the naive
+        # reference, not pairwise against each other.
+        legs = {
+            kernel: ctx.runner(
+                scale, kernel=kernel, salt=f"discover:kernel={kernel}"
+            )
+            for kernel in VALID_KERNELS
+        }
+        naive = legs.pop(KERNEL_NAIVE)
         findings = []
         for point in points:
-            detail = diff_stats(
-                naive.run(point.benchmark, point.config),
-                skip.run(point.benchmark, point.config),
-                ("naive", "skip"),
-            )
-            if detail:
-                findings.append(Finding(self.name, point, scale, tuple(detail)))
+            reference = naive.run(point.benchmark, point.config)
+            for kernel, runner in legs.items():
+                detail = diff_stats(
+                    reference,
+                    runner.run(point.benchmark, point.config),
+                    (KERNEL_NAIVE, kernel),
+                )
+                if detail:
+                    findings.append(
+                        Finding(self.name, point, scale, tuple(detail))
+                    )
         return findings
 
 

@@ -4,9 +4,10 @@ Command line::
 
     python -m repro.experiments.campaign [--scale N] [--figures 2,3,8]
         [--schemes IQ_64_64,IF_distr] [--workers N]
-        [--benchmarks int|fp|all] [--kernel naive|skip]
+        [--benchmarks int|fp|all]
+        [--kernel naive|skip|vectorized|specialized]
         [--sampling [SPEC]] [--sampling-validate] [--list]
-        [--cache-dir DIR] [--no-cache]
+        [--cache-dir DIR] [--no-cache] [--profile [FILE]]
         [--output json|csv] [--output-path FILE]
 
 This is the batch entry point behind the per-figure benchmarks: it
@@ -26,10 +27,18 @@ caches) exactly the selected pairs and reports what it did instead of
 rendering — rerun with ``--figures`` alone afterwards to render from the
 warm cache.
 
-``--kernel`` selects the simulation loop (see :mod:`repro.core.engine`):
-``skip`` (default) jumps over provably dead cycles, ``naive`` ticks every
-cycle. Results are bit-identical; the campaign footer reports how many
-cycles were actually executed vs. skipped.
+``--kernel`` selects the simulation loop: ``skip`` (default) jumps over
+provably dead cycles, ``naive`` ticks every cycle (both in
+:mod:`repro.core.engine`), and ``vectorized``/``specialized`` are the
+:mod:`repro.backends` execution strategies (numpy SoA hot state, or a
+per-configuration compiled kernel). Results are bit-identical across
+all four; the campaign footer reports how many cycles were actually
+executed vs. skipped.
+
+``--profile [FILE]`` wraps the whole run in :mod:`cProfile`: the raw
+pstats data lands at ``FILE`` (default ``campaign.prof``) next to the
+other artifacts, and the top functions by cumulative time are printed
+after the footer.
 
 ``--output json|csv`` additionally exports the rendered figures' *data*
 (via the exploration subsystem's atomic artifact writers): JSON keeps
@@ -56,6 +65,8 @@ numbers with titles, scheme names and simulation kernels — and exits.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import time
 from typing import Callable, Dict, List
 
@@ -85,6 +96,9 @@ __all__ = [
     "render_catalog",
     "sampling_validation",
 ]
+
+#: How many functions the ``--profile`` cumulative-time table prints.
+_PROFILE_TOP_N = 25
 
 _SERIES_FIGURES = {2, 3, 4, 6}
 _TABLE_FIGURES = {7, 8, 12, 13, 14, 15}
@@ -294,10 +308,18 @@ def main(argv: List[str] = None) -> None:
                         default="all",
                         help="restrict the sweep to one SPEC suite "
                              "(int: figures 2,7; fp: figures 3,4,6,8)")
-    parser.add_argument("--kernel", choices=("naive", "skip"), default="skip",
+    parser.add_argument("--kernel", choices=tuple(VALID_KERNELS),
+                        default="skip",
                         help="simulation kernel: event-driven cycle "
-                             "skipping (default) or the naive per-cycle "
-                             "loop; results are bit-identical")
+                             "skipping (default), the naive per-cycle "
+                             "loop, or the vectorized/specialized "
+                             "backends; results are bit-identical")
+    parser.add_argument("--profile", type=str, nargs="?", const="campaign.prof",
+                        default=None, metavar="FILE",
+                        help="run the campaign under cProfile: dump pstats "
+                             "data to FILE (default campaign.prof, next to "
+                             "the other artifacts) and print the top "
+                             "functions by cumulative time")
     parser.add_argument("--sampling", type=str, nargs="?", const="",
                         default=None, metavar="SPEC",
                         help="sampled execution mode: statistics become "
@@ -338,7 +360,7 @@ def main(argv: List[str] = None) -> None:
         run_only = (
             "scale", "seed", "figures", "schemes", "workers", "benchmarks",
             "kernel", "sampling", "sampling_validate", "cache_dir",
-            "no_cache", "output", "output_path",
+            "no_cache", "output", "output_path", "profile",
         )
         ignored = [
             "--" + name.replace("_", "-")
@@ -408,6 +430,36 @@ def main(argv: List[str] = None) -> None:
             plan.slice_windows(scale.warmup_instructions, scale.num_instructions)
         except ConfigurationError as exc:
             parser.error(f"--sampling: {exc}")
+    if args.profile:
+        _run_profiled(args.profile, _run_selected,
+                      args, parser, scale, store, plan, numbers)
+    else:
+        _run_selected(args, parser, scale, store, plan, numbers)
+
+
+def _run_profiled(path: str, func: Callable, *call_args) -> None:
+    """Run ``func`` under :mod:`cProfile`, then report.
+
+    Dumps the raw pstats data to ``path`` (loadable with ``python -m
+    pstats`` or snakeviz) and prints the top functions by cumulative
+    time. The dump happens even when the run exits nonzero — the
+    sampling-validate gate raises ``SystemExit`` — so failing runs can
+    still be profiled.
+    """
+    profiler = cProfile.Profile()
+    try:
+        profiler.runcall(func, *call_args)
+    finally:
+        profiler.dump_stats(path)
+        print(f"\nprofile: pstats dump at {path}; top {_PROFILE_TOP_N} "
+              f"functions by cumulative time:")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(
+            _PROFILE_TOP_N
+        )
+
+
+def _run_selected(args, parser, scale, store, plan, numbers) -> None:
+    """Execute the selected campaign mode (after all argument vetting)."""
     engine.GLOBAL_TELEMETRY.reset()
     started = time.perf_counter()
     if args.sampling_validate:

@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.common.config import IssueSchemeConfig, ProcessorConfig, default_config
+from repro.common.config import (
+    IssueSchemeConfig,
+    ProcessorConfig,
+    default_config,
+    stable_fingerprint,
+)
 from repro.common.stats import SimulationStats
 from repro.core.processor import Processor
 from repro.experiments.store import ResultStore, result_key
@@ -44,6 +49,7 @@ __all__ = [
     "resolve_config",
     "simulate_pair",
     "simulate_sampled_pair",
+    "clear_trace_memo",
 ]
 
 #: Everywhere the experiments layer takes "what to simulate", it accepts
@@ -76,6 +82,28 @@ class RunScale:
 
 
 DEFAULT_SCALE = RunScale()
+
+#: Process-level trace memo, the sibling of the prewarm snapshot memo:
+#: trace generation is deterministic in (profile, length, seed) and a
+#: benchmark harness spins up many runners over the same few traces, so
+#: generation (and the construction-time validation walk) runs once per
+#: process. Keyed on the profile *fingerprint*, not its name, so editing
+#: or re-registering a profile can never serve a stale stream.
+_TRACE_MEMO: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def clear_trace_memo() -> None:
+    """Drop memoized traces (tests that mutate profiles in place use this)."""
+    _TRACE_MEMO.clear()
+
+
+def _memoized_trace(profile, num_instructions: int, seed: int) -> Trace:
+    key = (stable_fingerprint(profile), num_instructions, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = generate_trace(profile, num_instructions, seed=seed)
+        _TRACE_MEMO[key] = trace
+    return trace
 
 
 @dataclass
@@ -116,7 +144,7 @@ def simulate_pair(
     """
     profile = get_profile(benchmark)
     if trace is None:
-        trace = generate_trace(profile, scale.num_instructions, seed=scale.seed)
+        trace = _memoized_trace(profile, scale.num_instructions, scale.seed)
     config = resolve_config(scheme)
     if kernel is not None:
         config = config.with_kernel(kernel)
@@ -152,7 +180,7 @@ def simulate_sampled_pair(
 
     profile = get_profile(benchmark)
     if trace is None:
-        trace = generate_trace(profile, scale.num_instructions, seed=scale.seed)
+        trace = _memoized_trace(profile, scale.num_instructions, scale.seed)
     config = resolve_config(scheme)
     if kernel is not None:
         config = config.with_kernel(kernel)
@@ -246,10 +274,10 @@ class ExperimentRunner:
     def trace_for(self, benchmark: str) -> Trace:
         """Trace for a benchmark at this runner's scale (cached)."""
         if benchmark not in self._trace_cache:
-            self._trace_cache[benchmark] = generate_trace(
+            self._trace_cache[benchmark] = _memoized_trace(
                 get_profile(benchmark),
                 self.scale.num_instructions,
-                seed=self.scale.seed,
+                self.scale.seed,
             )
         return self._trace_cache[benchmark]
 

@@ -125,6 +125,7 @@ def sweep_stale_tmp(root: os.PathLike, max_age: float = STALE_TMP_AGE_SECONDS) -
 #: even the counter plumbing — lives here. (The energy and experiments
 #: layers post-process cached stats and are deliberately excluded.)
 _SIMULATOR_PACKAGES = (
+    "backends",
     "common",
     "core",
     "frontend",

@@ -18,7 +18,7 @@ from repro.isa.opcodes import OpClass
 __all__ = ["Instruction", "RegisterRef", "validate_instruction"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegisterRef:
     """An architectural register reference: (is_fp, index)."""
 
@@ -29,7 +29,7 @@ class RegisterRef:
         return f"{'f' if self.is_fp else 'r'}{self.index}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One dynamic instruction of a trace.
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import TraceError
 from repro.isa.instructions import Instruction, validate_instruction
@@ -24,6 +24,13 @@ class Trace:
     instructions: List[Instruction] = field(default_factory=list)
     profile_name: Optional[str] = None
     seed: Optional[int] = None
+    #: Register-count pairs this stream has already validated against.
+    #: Instructions are frozen, so a pass is a pass forever; every
+    #: ``Processor.__init__`` re-validates its trace, and a campaign
+    #: constructs many processors over one shared trace.
+    _validated: Set[Tuple[int, int]] = field(
+        default_factory=set, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -35,7 +42,14 @@ class Trace:
         return self.instructions[idx]
 
     def validate(self, num_int_regs: int = 32, num_fp_regs: int = 32) -> None:
-        """Check the whole stream; raises :class:`TraceError` on problems."""
+        """Check the whole stream; raises :class:`TraceError` on problems.
+
+        Memoized per register-count pair: instructions are immutable, so
+        once the stream has passed for given counts it passes forever and
+        repeat validations (one per processor construction) are free.
+        """
+        if (num_int_regs, num_fp_regs) in self._validated:
+            return
         for expect_seq, inst in enumerate(self.instructions):
             if inst.seq != expect_seq:
                 raise TraceError(
@@ -43,6 +57,7 @@ class Trace:
                     f"(found {inst.seq})"
                 )
             validate_instruction(inst, num_int_regs, num_fp_regs)
+        self._validated.add((num_int_regs, num_fp_regs))
 
     def op_histogram(self) -> dict:
         """Counts of each op class; useful for checking generated mixes."""

@@ -124,9 +124,11 @@ class TestSerialPath:
 
 
 class TestKernelPaths:
-    """Both simulation kernels must land exactly on the pinned goldens."""
+    """Every simulation kernel must land exactly on the pinned goldens."""
 
-    @pytest.mark.parametrize("kernel", ("naive", "skip"))
+    @pytest.mark.parametrize(
+        "kernel", ("naive", "skip", "vectorized", "specialized")
+    )
     @pytest.mark.parametrize("name", sorted(SCHEMES))
     def test_kernel_matches_golden(self, name, kernel):
         stats, __ = simulate_pair(BENCHMARK, SCHEMES[name], SCALE, kernel=kernel)
