@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import time
 from typing import Callable, Dict, List
@@ -95,6 +96,7 @@ __all__ = [
     "export_campaign",
     "render_catalog",
     "sampling_validation",
+    "version_payload",
 ]
 
 #: How many functions the ``--profile`` cumulative-time table prints.
@@ -185,6 +187,31 @@ def export_campaign(
     for number in figure_numbers:
         rows.extend(figure_rows(number, _generator(number)(runner)))
     return str(write_csv(path, rows))
+
+
+def version_payload() -> Dict[str, object]:
+    """Everything that identifies this simulator build's cache namespace.
+
+    The source-derived version tags are the levers behind every
+    "warm rerun = 0 simulations" guarantee, so cache debugging starts
+    with comparing them between two processes. This payload is shared
+    verbatim by ``campaign --version-tag`` and the service's
+    ``GET /v1/version`` endpoint — byte-identical JSON from both, by
+    construction, so CLI-vs-service cache mismatches are diagnosable
+    with one diff.
+    """
+    from repro.backends import BACKENDS
+    from repro.experiments.store import SAMPLING_VERSION_TAG, SIMULATOR_VERSION_TAG
+
+    return {
+        "simulator_version_tag": SIMULATOR_VERSION_TAG,
+        "sampling_version_tag": SAMPLING_VERSION_TAG,
+        "kernels": list(VALID_KERNELS),
+        "backends": {
+            name: type(backend).__name__
+            for name, backend in sorted(BACKENDS.items())
+        },
+    }
 
 
 def render_catalog() -> str:
@@ -338,6 +365,12 @@ def main(argv: List[str] = None) -> None:
     parser.add_argument("--list", action="store_true",
                         help="print available benchmarks, figures, schemes "
                              "and kernels, then exit")
+    parser.add_argument("--version-tag", action="store_true",
+                        help="print the simulator/sampling version tags and "
+                             "the kernel/backend registry as JSON, then exit "
+                             "(byte-identical to the service's GET "
+                             "/v1/version — the cache-debugging parity "
+                             "check between CLI and service)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result-store directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-abella04)")
@@ -353,26 +386,32 @@ def main(argv: List[str] = None) -> None:
                              "campaign.json / campaign.csv)")
     args = parser.parse_args(argv)
 
-    if args.list:
-        # --list is a pure catalog query; accepting run-only flags next
-        # to it would silently ignore them (the early return below never
-        # reaches the run path), so any non-default run flag is an error.
-        run_only = (
+    if args.list or args.version_tag:
+        # --list and --version-tag are pure catalog queries; accepting
+        # other flags next to them would silently ignore those flags (the
+        # early return below never reaches the run path), so any other
+        # non-default flag is an error.
+        query = "--version-tag" if args.version_tag else "--list"
+        other = (
             "scale", "seed", "figures", "schemes", "workers", "benchmarks",
             "kernel", "sampling", "sampling_validate", "cache_dir",
             "no_cache", "output", "output_path", "profile",
+            "list" if args.version_tag else "version_tag",
         )
         ignored = [
             "--" + name.replace("_", "-")
-            for name in run_only
+            for name in other
             if getattr(args, name) != parser.get_default(name)
         ]
         if ignored:
             parser.error(
-                f"--list prints the catalog and exits; it cannot be combined "
-                f"with run flags ({', '.join(ignored)})"
+                f"{query} prints and exits; it cannot be combined "
+                f"with other flags ({', '.join(ignored)})"
             )
-        print(render_catalog())
+        if args.version_tag:
+            print(json.dumps(version_payload(), indent=2, sort_keys=True))
+        else:
+            print(render_catalog())
         return
 
     if args.output_path and not args.output:

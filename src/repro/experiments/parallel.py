@@ -27,6 +27,7 @@ sees the whole fleet.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import IssueSchemeConfig, ProcessorConfig
@@ -49,6 +50,50 @@ def worker_count(requested: int = 0) -> int:
     if requested > 0:
         return requested
     return max(1, (multiprocessing.cpu_count() or 2) - 1)
+
+
+def _init_worker() -> None:
+    """Pool initializer: workers ignore SIGINT.
+
+    A terminal Ctrl-C delivers SIGINT to the whole process group; if the
+    workers also raised ``KeyboardInterrupt`` the pool would die out from
+    under the parent mid-drain. Shutdown is the parent's decision alone:
+    it either lets the in-flight batch finish or terminates the pool
+    explicitly (see :func:`simulate_matrix`).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+#: How often the parent wakes while waiting on a batch. Purely a
+#: responsiveness knob for interrupt handling — ``AsyncResult.wait`` with
+#: no timeout can block in an uninterruptible C-level wait.
+_DRAIN_POLL_SECONDS = 0.25
+
+
+def _drain_pool(pool, async_result, sweep_roots: Sequence[Optional[str]]):
+    """Wait for a batch, draining gracefully on interrupt.
+
+    Normal path: poll until every job is done and return the payload
+    list. On ``KeyboardInterrupt`` (SIGINT reached the parent) the pool
+    is terminated — the workers ignored the signal and would otherwise
+    keep simulating — joined, and any atomic-write temp files the killed
+    workers orphaned under ``sweep_roots`` (trace spills, checkpoints)
+    are swept immediately before the interrupt propagates, so an
+    interrupted campaign leaves no debris behind.
+    """
+    try:
+        while not async_result.ready():
+            async_result.wait(_DRAIN_POLL_SECONDS)
+        return async_result.get()
+    except KeyboardInterrupt:
+        pool.terminate()
+        pool.join()
+        from repro.experiments.store import sweep_stale_tmp
+
+        for root in sweep_roots:
+            if root is not None:
+                sweep_stale_tmp(root, max_age=0.0)
+        raise
 
 
 def _load_worker_trace(benchmark: str, scale, trace_dir: Optional[str]):
@@ -150,8 +195,16 @@ def simulate_matrix(
         for payload in payloads:
             payload.pop("telemetry", None)
     else:
-        with multiprocessing.Pool(processes=workers) as pool:
-            payloads = pool.map(_simulate_to_payload, jobs, chunksize=1)
+        with multiprocessing.Pool(
+            processes=workers, initializer=_init_worker
+        ) as pool:
+            async_result = pool.map_async(
+                _simulate_to_payload, jobs, chunksize=1
+            )
+            pool.close()
+            payloads = _drain_pool(
+                pool, async_result, (trace_dir, checkpoint_dir)
+            )
         for payload in payloads:
             worker_tel = payload.pop("telemetry", None)
             if worker_tel:

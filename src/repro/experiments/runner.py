@@ -405,6 +405,25 @@ class ExperimentRunner:
             self.run(benchmark, scheme)
         return self._sampled_cache.get(key)
 
+    def pending_pairs(
+        self, pairs: Sequence[Tuple[str, SchemeOrConfig]]
+    ) -> List[Tuple[str, SchemeOrConfig]]:
+        """Deduplicated pairs not resolvable from memory or disk, in order.
+
+        This is the execution frontier of :meth:`run_many`: everything it
+        returns genuinely needs a simulation (and, as a side effect, every
+        cached pair has been promoted into the memory layer). The serve
+        subsystem's scheduler-backed runner reuses it to route exactly
+        these misses through the shared coalescing scheduler.
+        """
+        misses: List[Tuple[str, SchemeOrConfig]] = []
+        for benchmark, scheme in pairs:
+            if self._lookup(benchmark, scheme) is None:
+                pair = (benchmark, scheme)
+                if pair not in misses:
+                    misses.append(pair)
+        return misses
+
     def run_many(
         self,
         pairs: Sequence[Tuple[str, SchemeOrConfig]],
@@ -419,12 +438,7 @@ class ExperimentRunner:
         only wall-clock time changes.
         """
         workers = self.workers if workers is None else workers
-        misses: List[Tuple[str, SchemeOrConfig]] = []
-        for benchmark, scheme in pairs:
-            if self._lookup(benchmark, scheme) is None:
-                pair = (benchmark, scheme)
-                if pair not in misses:
-                    misses.append(pair)
+        misses = self.pending_pairs(pairs)
         if misses:
             if workers and workers > 1:
                 from repro.experiments.parallel import simulate_matrix

@@ -34,7 +34,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 from repro.common import faults
 from repro.common.config import ProcessorConfig, stable_fingerprint
@@ -43,6 +43,7 @@ from repro.workloads.profiles import WorkloadProfile
 
 __all__ = [
     "ResultStore",
+    "MAX_SHARDS",
     "SIMULATOR_VERSION_TAG",
     "SAMPLING_VERSION_TAG",
     "STALE_TMP_AGE_SECONDS",
@@ -64,7 +65,13 @@ def atomic_write_json(path: Path, payload: dict) -> Path:
     hardening (fsync, permissions) lands in one place.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    # The temp name carries the writer's pid on top of mkstemp's random
+    # component: two processes racing to save the same key can never
+    # collide on the staging file, so a reader only ever observes either
+    # the old complete file or the new complete file — never a torn mix.
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{os.getpid()}-", suffix=".tmp"
+    )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
@@ -238,11 +245,35 @@ def result_key(
     ).hexdigest()
 
 
-class ResultStore:
-    """Directory of JSON-serialized :class:`SimulationStats`, by key."""
+#: Upper bound on :class:`ResultStore` shard count — enough to spread a
+#: fleet of hosts, small enough that ``shard_counts`` stays a cheap scan.
+MAX_SHARDS = 4096
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+
+class ResultStore:
+    """Directory of JSON-serialized :class:`SimulationStats`, by key.
+
+    ``shards`` partitions the key space by prefix: with ``shards > 1``
+    every result lives under ``shard-<i>/<key[:2]>/<key>.json`` where
+    ``i`` is derived from the leading key bytes. Keys are SHA-256
+    digests, so the shards fill uniformly and a fleet of executor
+    workers (or hosts) can each own a disjoint directory subtree —
+    no shared directory inodes to contend on, and a shard is a complete,
+    independently rsync-able unit. ``shards=1`` (the default) keeps the
+    original flat ``<key[:2]>/<key>.json`` layout byte-for-byte, and a
+    sharded store still *reads* that legacy layout as a fallback, so
+    pointing a sharded service at an existing CLI cache stays warm.
+    """
+
+    def __init__(
+        self, root: Optional[os.PathLike] = None, shards: int = 1
+    ) -> None:
+        if not 1 <= shards <= MAX_SHARDS:
+            raise ValueError(
+                f"shards must be in [1, {MAX_SHARDS}], got {shards}"
+            )
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.shards = shards
         # Cache hygiene: reap temp files orphaned by SIGKILLed writers.
         # The sweep covers the whole tree (results, traces, checkpoints)
         # and only touches files old enough that no live writer can
@@ -261,9 +292,28 @@ class ResultStore:
             return cls()
         return None
 
-    def _path(self, key: str) -> Path:
+    def shard_index(self, key: str) -> int:
+        """Shard owning ``key``: its leading bytes modulo ``shards``.
+
+        Keys are uniformly distributed SHA-256 hex digests, so a prefix
+        modulus balances shards without any coordination — every process
+        (and host) computes the same placement independently.
+        """
+        return int(key[:8], 16) % self.shards
+
+    def _legacy_path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small for big sweeps.
         return self.root / key[:2] / f"{key}.json"
+
+    def _path(self, key: str) -> Path:
+        if self.shards == 1:
+            return self._legacy_path(key)
+        return (
+            self.root
+            / f"shard-{self.shard_index(key):03d}"
+            / key[:2]
+            / f"{key}.json"
+        )
 
     def load(self, key: str) -> Optional[SimulationStats]:
         """Cached stats for ``key``, or ``None`` on any kind of miss.
@@ -284,8 +334,21 @@ class ResultStore:
         garbage, wrong JSON shape, mis-typed stats or extra fields,
         version mismatch — reads as a miss, never an exception.
         """
+        candidates = [self._path(key)]
+        if self.shards > 1:
+            # Migration fallback: a sharded store can still serve results
+            # an unsharded writer (the CLIs) filed under the flat layout.
+            candidates.append(self._legacy_path(key))
+        for path in candidates:
+            loaded = self._read_payload(path)
+            if loaded is not None:
+                return loaded
+        return None
+
+    @staticmethod
+    def _read_payload(path: Path):
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             if not isinstance(payload, dict):
                 return None
@@ -311,11 +374,34 @@ class ResultStore:
             payload["sampled"] = extra
         return atomic_write_json(self._path(key), payload)
 
-    def __len__(self) -> int:
-        """Number of cached results on disk."""
+    def shard_counts(self) -> List[int]:
+        """Cached-result count per shard, in shard order.
+
+        With ``shards == 1`` this is a one-element list (the flat-layout
+        total); a sharded store counts each ``shard-*`` subtree plus any
+        legacy flat-layout leftovers folded into their owning shard, so
+        the sum always equals ``len(self)``.
+        """
+        counts = [0] * self.shards
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+            return counts
+        for path in self.root.glob("*/*.json"):
+            try:
+                counts[self.shard_index(path.stem)] += 1
+            except ValueError:
+                # Not a result key (foreign file in the tree): shard 0.
+                counts[0] += 1
+        if self.shards > 1:
+            for index in range(self.shards):
+                shard_dir = self.root / f"shard-{index:03d}"
+                counts[index] += sum(1 for _ in shard_dir.glob("*/*.json"))
+        return counts
+
+    def __len__(self) -> int:
+        """Number of cached results on disk (all layouts)."""
+        return sum(self.shard_counts())
 
     def __repr__(self) -> str:
+        if self.shards > 1:
+            return f"ResultStore({str(self.root)!r}, shards={self.shards})"
         return f"ResultStore({str(self.root)!r})"

@@ -190,6 +190,7 @@ def run_exploration(
     settings: ExplorationSettings,
     space: Optional[DesignSpace] = None,
     store: Union[ResultStore, None, bool] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExplorationResult:
     """Sample, score and refine; returns the full result.
 
@@ -202,8 +203,42 @@ def run_exploration(
     pair. ``store`` selects the disk cache exactly as for
     :class:`ExperimentRunner` (``None`` = honour ``$REPRO_CACHE_DIR``,
     ``False`` = no disk layer).
+
+    ``runner`` substitutes the execution stack itself: the campaign
+    server passes its scheduler-backed runner here so exploration
+    simulations coalesce with every other in-flight request. The runner
+    must already embody the settings' scale and sampling plan (checked —
+    the artifact's settings block must describe how points were actually
+    simulated), and it owns the disk layer, so combining it with
+    ``store`` is an error.
     """
     settings.validate()
+    if runner is not None:
+        if store is not None:
+            raise ConfigurationError(
+                "pass either store or runner, not both: a runner brings "
+                "its own disk-cache layer"
+            )
+        from repro.common.config import stable_fingerprint
+
+        expected = settings.scale()
+        if stable_fingerprint(runner.scale) != stable_fingerprint(expected):
+            raise ConfigurationError(
+                f"runner scale {runner.scale} does not match the "
+                f"settings' scale {expected}"
+            )
+        mismatched_sampling = (
+            (runner.sampling is None) != (settings.sampling is None)
+            or (
+                runner.sampling is not None
+                and stable_fingerprint(runner.sampling)
+                != stable_fingerprint(settings.sampling)
+            )
+        )
+        if mismatched_sampling:
+            raise ConfigurationError(
+                "runner sampling plan does not match settings.sampling"
+            )
     if space is None:
         space = default_space(settings.benchmarks, aggregate=settings.aggregate)
     elif bool(space.aggregate_benchmarks) != settings.aggregate:
@@ -225,13 +260,14 @@ def run_exploration(
             f"aggregate_benchmarks: {tuple(settings.benchmarks)!r} vs "
             f"{space.aggregate_benchmarks!r}"
         )
-    runner = ExperimentRunner(
-        settings.scale(),
-        store=store,
-        workers=settings.workers,
-        kernel=settings.kernel,
-        sampling=settings.sampling,
-    )
+    if runner is None:
+        runner = ExperimentRunner(
+            settings.scale(),
+            store=store,
+            workers=settings.workers,
+            kernel=settings.kernel,
+            sampling=settings.sampling,
+        )
     if space.aggregate_benchmarks:
         scorer: ObjectiveScorer = SuiteAggregator(runner, space.aggregate_benchmarks)
     else:

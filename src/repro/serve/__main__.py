@@ -1,0 +1,92 @@
+"""Command-line entry point for the campaign server.
+
+Command line::
+
+    python -m repro.serve [--host HOST] [--port PORT]
+        [--cache-dir DIR] [--shards N] [--workers N]
+        [--batch-interval SECONDS] [--job-threads N]
+
+Starts a long-lived asyncio HTTP service over the content-addressed
+result store. Clients POST JSON job specs to ``/v1/jobs``::
+
+    {"type": "simulation", "benchmark": "gzip", "scheme": "IQ_64_64",
+     "scale": 2000, "seed": 11}
+    {"type": "figures", "figures": [2], "scale": 2000, "format": "json"}
+    {"type": "exploration", "samples": 8, "rounds": 1,
+     "benchmarks": "stress", "scale": 1500}
+
+and follow progress via ``GET /v1/jobs/<id>`` (status),
+``/v1/jobs/<id>/events`` (chunked NDJSON stream) and
+``/v1/jobs/<id>/artifact`` (the same byte-identical JSON/CSV artifacts
+the CLIs emit). ``/v1/stats`` exposes coalescing and shard counters;
+``/v1/version`` mirrors ``campaign --version-tag``.
+
+``--workers`` sizes the per-batch ``multiprocessing`` fan-out (0 = run
+batches serially in the executor thread); ``--shards`` partitions the
+store layout by key prefix. SIGINT/SIGTERM shut down gracefully:
+in-flight batches drain, queued jobs fail with a clear status, orphaned
+temp files are swept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import List, Optional
+
+from repro.experiments.store import MAX_SHARDS, ResultStore, default_cache_dir
+from repro.serve.app import ServeApp
+from repro.serve.scheduler import DEFAULT_BATCH_INTERVAL
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 = ephemeral; default 8642)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result-store directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-abella04)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help=f"key-prefix shards of the store layout "
+                             f"(1..{MAX_SHARDS}; default 4; a sharded "
+                             f"store still reads unsharded CLI caches)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation processes per batch (0 = serial "
+                             "in-thread execution; default 2)")
+    parser.add_argument("--batch-interval", type=float,
+                        default=DEFAULT_BATCH_INTERVAL, metavar="SECONDS",
+                        help="how long requests pool before a batch "
+                             f"launches (default {DEFAULT_BATCH_INTERVAL})")
+    parser.add_argument("--job-threads", type=int, default=4,
+                        help="concurrent job bodies (figure assembly, "
+                             "exploration drivers; default 4)")
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
+    if args.batch_interval <= 0:
+        parser.error("--batch-interval must be positive")
+    if args.job_threads < 1:
+        parser.error("--job-threads must be at least 1")
+    try:
+        store = ResultStore(
+            args.cache_dir if args.cache_dir else default_cache_dir(),
+            shards=args.shards,
+        )
+    except ValueError as exc:
+        parser.error(f"--shards: {exc}")
+    app = ServeApp(
+        store,
+        workers=args.workers,
+        batch_interval=args.batch_interval,
+        job_threads=args.job_threads,
+    )
+    asyncio.run(app.serve_forever(args.host, args.port))
+
+
+if __name__ == "__main__":
+    main()

@@ -111,6 +111,36 @@ class TestListCatalog:
             assert scheme_name(scheme) in listed
 
 
+class TestVersionTag:
+    def test_version_tag_prints_registry_json(self, capsys):
+        from repro.backends import BACKENDS
+        from repro.common.config import VALID_KERNELS
+        from repro.experiments.store import SIMULATOR_VERSION_TAG
+
+        main(["--version-tag"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulator_version_tag"] == SIMULATOR_VERSION_TAG
+        assert payload["kernels"] == list(VALID_KERNELS)
+        assert sorted(payload["backends"]) == sorted(BACKENDS)
+        assert payload["sampling_version_tag"].startswith("abella04-sampling")
+
+    def test_version_tag_simulates_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        main(["--version-tag"])
+        assert not (tmp_path / "cache").exists()
+
+    def test_version_tag_rejects_other_flags(self, capsys, tmp_path):
+        for argv in (
+            ["--version-tag", "--scale", "100000"],
+            ["--version-tag", "--list"],
+            ["--version-tag", "--cache-dir", str(tmp_path)],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--version-tag" in capsys.readouterr().err
+
+
 class TestSamplingCli:
     def test_sampled_campaign_renders_and_reports(self, monkeypatch, tmp_path,
                                                   capsys):

@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import multiprocessing
 
 import pytest
 
@@ -254,6 +255,110 @@ class TestSampledPayloads:
         raw = path.read_bytes()
         path.write_bytes(raw[: len(raw) - 40])
         assert store.load_with_extra(key_for()) is None
+
+
+def _hammer_one_key(args):
+    """Worker for the concurrent-writer test (module-level to pickle)."""
+    root, key, cycles = args
+    store = ResultStore(root)
+    events = StatCounters()
+    events.add("iq_wakeup", 321)
+    stats = SimulationStats(
+        cycles=cycles,
+        committed_instructions=600,
+        fetched_instructions=640,
+        dispatch_stall_cycles=42,
+        branch_predictions=80,
+        branch_mispredictions=5,
+        events=events,
+    )
+    for __ in range(20):
+        store.save(key, stats)
+    return cycles
+
+
+class TestConcurrentWriters:
+    """Many processes saving the same key must never tear a read."""
+
+    def test_parallel_same_key_saves_leave_valid_store(self, tmp_path):
+        key = key_for()
+        # Every writer stores a *valid* payload (differing only in
+        # cycles), so whichever save wins, the survivor must parse.
+        jobs = [(str(tmp_path), key, 1000 + i) for i in range(4)]
+        with multiprocessing.Pool(processes=4) as pool:
+            written = pool.map(_hammer_one_key, jobs)
+        assert sorted(written) == [1000, 1001, 1002, 1003]
+        store = ResultStore(tmp_path)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.cycles in set(written)
+        # No torn temp files left behind by the rename dance.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_tmp_names_embed_pid(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.experiments import store as store_mod
+
+        seen = []
+        real_mkstemp = store_mod.tempfile.mkstemp
+
+        def spy(**kwargs):
+            seen.append(kwargs)
+            return real_mkstemp(**kwargs)
+
+        monkeypatch.setattr(store_mod.tempfile, "mkstemp", spy)
+        store_mod.atomic_write_json(tmp_path / "ab" / "x.json", {"a": 1})
+        (kwargs,) = seen
+        assert str(os.getpid()) in kwargs["prefix"]
+        assert kwargs["suffix"] == ".tmp"
+
+
+class TestShardedLayout:
+    """Key-prefix sharding for the service store."""
+
+    def test_shards_partition_without_losing_results(self, tmp_path):
+        store = ResultStore(tmp_path, shards=8)
+        keys = [key_for(scheme, bench)
+                for scheme in (IQ_64_64, IF_DISTR)
+                for bench in ("gzip", "mcf", "twolf")]
+        for key in keys:
+            store.save(key, make_stats())
+        assert len(store) == len(keys)
+        assert sum(store.shard_counts()) == len(keys)
+        for key in keys:
+            assert store.load(key) == make_stats()
+            index = store.shard_index(key)
+            assert f"shard-{index:03d}" in str(store._path(key))
+
+    def test_shard_index_is_stable_and_bounded(self, tmp_path):
+        store = ResultStore(tmp_path, shards=8)
+        key = key_for()
+        assert store.shard_index(key) == store.shard_index(key)
+        assert 0 <= store.shard_index(key) < 8
+        assert store.shard_index(key) == int(key[:8], 16) % 8
+
+    def test_sharded_store_reads_legacy_flat_layout(self, tmp_path):
+        # A CLI-populated (unsharded) cache stays warm when the server
+        # opens the same directory with shards > 1.
+        flat = ResultStore(tmp_path)
+        flat.save(key_for(), make_stats())
+        sharded = ResultStore(tmp_path, shards=8)
+        assert sharded.load(key_for()) == make_stats()
+        assert len(sharded) == 1
+
+    def test_unsharded_store_keeps_flat_layout(self, tmp_path):
+        store = ResultStore(tmp_path, shards=1)
+        path = store.save(key_for(), make_stats())
+        assert "shard-" not in str(path)
+        assert path.parent.name == key_for()[:2]
+
+    def test_invalid_shard_counts_rejected(self, tmp_path):
+        from repro.experiments.store import MAX_SHARDS
+
+        for bad in (0, -4, MAX_SHARDS + 1):
+            with pytest.raises(ValueError):
+                ResultStore(tmp_path, shards=bad)
 
 
 class TestStaleTmpSweep:
