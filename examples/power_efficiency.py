@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro import ExperimentRunner, IF_DISTR, IQ_64_64, MB_DISTR, RunScale, default_config
+from repro import IF_DISTR, IQ_64_64, MB_DISTR, ExperimentRunner, RunScale, default_config
 from repro.common.config import scheme_name
 from repro.energy import (
     EnergyModel,

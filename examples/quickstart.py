@@ -11,7 +11,7 @@ Usage::
 
 import sys
 
-from repro import ExperimentRunner, IQ_64_64, MB_DISTR, RunScale, default_config
+from repro import IQ_64_64, MB_DISTR, ExperimentRunner, RunScale, default_config
 from repro.common.config import scheme_name
 from repro.energy import EnergyModel
 

@@ -1,0 +1,44 @@
+"""Contract-verification static analysis for the repro tree.
+
+The dynamic nets (goldens, differential oracles, fault injection) catch
+an invariant violation only when a workload exercises it; this package
+proves the same contracts at the source level — skip-safety,
+determinism, fingerprint/version-tag completeness, checkpoint
+cycle-freedom, serve async hygiene — with content-addressed result
+caching so warm reruns re-analyze nothing.
+
+Entry points: ``python -m repro.analysis`` (CLI) and
+:func:`run_analysis` (library).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cache import AnalysisCache, NullCache
+from repro.analysis.engine import (
+    AnalysisReport,
+    default_analysis_cache_dir,
+    default_root,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
+from repro.analysis.framework import Finding, Project, Rule, SourceFile
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, resolve_rules
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "AnalysisCache",
+    "AnalysisReport",
+    "Finding",
+    "NullCache",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "default_analysis_cache_dir",
+    "default_root",
+    "load_baseline",
+    "resolve_rules",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,89 @@
+"""Content-addressed cache for per-(file, rule) analysis results.
+
+Mirrors the ``ResultStore`` discipline: the key digests everything the
+verdict depends on (schema version, analysis-package sources, the rule's
+own extra material, the file's bytes and repo-relative path), entries
+are written atomically, and corrupt or unreadable entries read as
+misses.  A warm rerun over an unchanged tree therefore re-analyzes
+nothing and reproduces the report byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.framework import SCHEMA, Finding
+from repro.experiments.store import atomic_write_json, package_sources_digest
+
+
+def framework_digest() -> str:
+    """Digest of the analysis package itself — any rule edit invalidates
+    every cached verdict."""
+    return package_sources_digest(("analysis",))
+
+
+def entry_key(
+    rule_id: str,
+    rule_material: str,
+    file_digest: str,
+    relpath: str,
+    fw_digest: str,
+) -> str:
+    raw = "|".join((SCHEMA, fw_digest, rule_id, rule_material, relpath, file_digest))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Sharded JSON entries under ``<root>/<key[:2]>/<key>.json``."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(f) for f in payload["findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, key: str, findings: List[Finding]) -> None:
+        payload: Dict[str, object] = {
+            "findings": [f.to_dict() for f in findings],
+            "schema": SCHEMA,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, payload)
+
+
+class NullCache(AnalysisCache):
+    """``--no-cache``: every lookup misses, nothing is written."""
+
+    def __init__(self) -> None:
+        super().__init__(Path("/nonexistent"))
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, findings: List[Finding]) -> None:
+        return None

@@ -1,0 +1,223 @@
+"""Analysis orchestration: discovery, caching, suppression, reporting.
+
+``run_analysis`` walks the target tree once, consults the
+content-addressed cache per (file, rule), re-applies suppressions and
+the baseline fresh on every run (they are cheap and must reflect the
+*current* source), and assembles a deterministic report whose JSON form
+is byte-identical between a cold and a warm run over the same tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.cache import AnalysisCache, NullCache, entry_key, framework_digest
+from repro.analysis.framework import (
+    RULE_PARSE_ERROR,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    apply_suppressions,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+from repro.experiments.store import atomic_write_json, default_cache_dir
+
+BASELINE_SCHEMA = "repro-analysis-baseline-v1"
+REPORT_SCHEMA = "repro-analysis-report-v1"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package tree (``src/repro`` in-repo)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_analysis_cache_dir() -> Path:
+    return default_cache_dir() / "analysis"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, ready to render."""
+
+    findings: List[Finding]  # unsuppressed, post-baseline (the gate)
+    suppressed: List[Finding]
+    baselined: List[Finding]
+    rules: List[str]
+    files_analyzed: int
+    files_reanalyzed: int
+    cache_hits: int
+    cache_misses: int
+    file_relpaths: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json_payload(self) -> Dict[str, object]:
+        """Deterministic payload: no timestamps, no absolute paths, no
+        cold/warm-dependent counters — a warm rerun must reproduce the
+        bytes exactly."""
+        return {
+            "baselined": [f.to_dict() for f in self.baselined],
+            "files": self.file_relpaths,
+            "files_analyzed": self.files_analyzed,
+            "findings": [f.to_dict() for f in self.findings],
+            "rules": self.rules,
+            "schema": REPORT_SCHEMA,
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_payload(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        lines = [
+            f"{f.path}:{f.line}:{f.col + 1}: {f.rule}: {f.message}"
+            for f in self.findings
+        ]
+        lines.append(
+            f"analysis: {self.files_analyzed} files, "
+            f"{self.files_reanalyzed} re-analyzed, "
+            f"{self.cache_hits} cached verdicts, "
+            f"{len(self.findings)} findings "
+            f"({len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined)"
+        )
+        return "\n".join(lines)
+
+
+def discover_files(targets: Sequence[Path], base: Path) -> List[SourceFile]:
+    seen: Set[Path] = set()
+    out: List[SourceFile] = []
+    for target in targets:
+        target = Path(target)
+        paths = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for path in paths:
+            path = path.resolve()
+            if path in seen or "__pycache__" in path.parts:
+                continue
+            seen.add(path)
+            relpath = Path(os.path.relpath(path, base)).as_posix()
+            out.append(
+                SourceFile(
+                    path=path,
+                    relpath=relpath,
+                    module=_module_for(path, base),
+                    text=path.read_text(encoding="utf-8"),
+                )
+            )
+    return out
+
+
+def _module_for(path: Path, base: Path) -> Optional[str]:
+    """Dotted module for files under ``<base>/repro``; fixture files
+    elsewhere fall back to their ``repro-fixture-module`` pragma."""
+    try:
+        rel = path.resolve().relative_to(Path(base).resolve())
+    except ValueError:
+        return None
+    parts = list(rel.with_suffix("").parts)
+    if not parts or parts[0] != "repro":
+        return None
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_baseline(path: Path) -> Set[str]:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"not a {BASELINE_SCHEMA} file: {path}")
+    return set(payload["fingerprints"])
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    atomic_write_json(
+        Path(path),
+        {
+            "fingerprints": sorted({f.fingerprint() for f in findings}),
+            "schema": BASELINE_SCHEMA,
+        },
+    )
+
+
+def run_analysis(
+    targets: Optional[Sequence[Path]] = None,
+    *,
+    base: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[AnalysisCache] = None,
+    baseline: Optional[Set[str]] = None,
+) -> AnalysisReport:
+    if targets is None:
+        targets = [default_root()]
+        if base is None:
+            base = default_root().parent
+    if base is None:
+        base = Path.cwd()
+    if rules is None:
+        rules = ALL_RULES
+    if cache is None:
+        cache = NullCache()
+
+    project = Project(discover_files(targets, base), base)
+    fw_digest = framework_digest()
+
+    raw: List[Finding] = []
+    reanalyzed: Set[str] = set()
+    for sf in project.files:
+        if sf.tree is None:
+            raw.append(
+                Finding(
+                    path=sf.relpath,
+                    line=1,
+                    col=0,
+                    rule=RULE_PARSE_ERROR,
+                    message=f"cannot parse: {sf.parse_error}",
+                )
+            )
+            reanalyzed.add(sf.relpath)
+            continue
+        for rule in rules:
+            if not rule.applies(sf, project):
+                continue
+            key = entry_key(
+                rule.id, rule.material(project), sf.digest, sf.relpath, fw_digest
+            )
+            cached = cache.get(key)
+            if cached is None:
+                found = rule.check(sf, project)
+                cache.put(key, found)
+                reanalyzed.add(sf.relpath)
+            else:
+                found = cached
+            raw.extend(found)
+
+    outcome = apply_suppressions(project, raw, RULES_BY_ID.keys())
+    active = sorted(outcome.active + outcome.meta)
+
+    baselined: List[Finding] = []
+    if baseline:
+        still_active: List[Finding] = []
+        for finding in active:
+            (baselined if finding.fingerprint() in baseline else still_active).append(
+                finding
+            )
+        active = still_active
+
+    return AnalysisReport(
+        findings=active,
+        suppressed=outcome.suppressed,
+        baselined=baselined,
+        rules=[rule.id for rule in rules],
+        files_analyzed=len(project.files),
+        files_reanalyzed=len(reanalyzed),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        file_relpaths=[sf.relpath for sf in project.files],
+    )

@@ -1,0 +1,48 @@
+"""Rule registry for the contract-verification pass.
+
+Adding a rule: subclass :class:`repro.analysis.framework.Rule` in a new
+module here, instantiate it in :data:`ALL_RULES`, add a known-bad
+fixture under ``tests/analysis_fixtures/`` named
+``bad_<rule_id_with_underscores>.py``, and the sensitivity tests and CI
+gate pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.async_hygiene import ServeAsyncHygieneRule
+from repro.analysis.rules.checkpoints import CheckpointCycleFreeRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.fingerprint import FingerprintCompletenessRule
+from repro.analysis.rules.skip_safety import SkipSafetyRule
+from repro.analysis.rules.version_tags import VersionTagCoverageRule
+
+ALL_RULES: List[Rule] = [
+    SkipSafetyRule(),
+    DeterminismRule(),
+    FingerprintCompletenessRule(),
+    VersionTagCoverageRule(),
+    CheckpointCycleFreeRule(),
+    ServeAsyncHygieneRule(),
+]
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def resolve_rules(spec: Sequence[str] | None) -> List[Rule]:
+    """``None``/empty -> all rules; otherwise validate each id."""
+    if not spec:
+        return list(ALL_RULES)
+    out: List[Rule] = []
+    for rule_id in spec:
+        if rule_id not in RULES_BY_ID:
+            raise KeyError(
+                f"unknown rule id '{rule_id}' (known: {', '.join(RULES_BY_ID)})"
+            )
+        out.append(RULES_BY_ID[rule_id])
+    return out
+
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "resolve_rules"]

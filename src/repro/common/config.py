@@ -188,7 +188,7 @@ class FunctionalUnitConfig(_Fingerprinted):
             self.fp_div_latency,
             self.address_latency,
         )
-        if any(l < 1 for l in latencies):
+        if any(latency < 1 for latency in latencies):
             raise ConfigurationError("all latencies must be >= 1 cycle")
 
 

@@ -14,7 +14,7 @@ it does not bias the comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.common.errors import SimulationError
 from repro.core.uop import InFlight

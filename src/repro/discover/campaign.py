@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import make_rng
-from repro.discover.oracles import ORACLES, Finding, Oracle, resolve_oracles
+from repro.discover.oracles import ORACLES, Finding, Oracle
 from repro.discover.witness import build_witness, save_witness
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.explore.space import DesignSpace, default_space

@@ -24,7 +24,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common import faults
 from repro.experiments.runner import RunScale

@@ -24,14 +24,13 @@ from typing import Dict
 
 from repro.common.config import (
     SCHEME_CONVENTIONAL,
-    SCHEME_ISSUEFIFO,
     SCHEME_LATFIFO,
     SCHEME_MIXBUFF,
     ProcessorConfig,
 )
 from repro.energy.cacti import (
-    Technology,
     TECH_100NM,
+    Technology,
     cam_broadcast_energy,
     cam_compare_energy,
     mux_drive_energy,

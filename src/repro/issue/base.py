@@ -19,7 +19,7 @@ from repro.core.functional_units import FuPool
 from repro.core.lsq import LoadStoreQueue
 from repro.core.scoreboard import Scoreboard
 from repro.core.uop import InFlight
-from repro.isa.opcodes import OpClass, latency_for
+from repro.isa.opcodes import latency_for
 
 __all__ = ["IssueContext", "IssueScheme", "SideIdleCountersMixin"]
 

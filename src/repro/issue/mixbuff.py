@@ -16,7 +16,7 @@ The integer side is a plain IssueFIFO side, exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import ProcessorConfig
 from repro.common.stats import StatCounters

@@ -22,7 +22,6 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional
 
 from repro.common.config import stable_fingerprint
 
@@ -184,7 +183,10 @@ class CheckpointStore:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for __ in self.root.glob("*/*.json"))
+        # Cardinality only: every element contributes 1 regardless of the
+        # order the filesystem yields them, so the unsorted walk cannot
+        # leak host iteration order into any result.
+        return sum(1 for __ in self.root.glob("*/*.json"))  # repro: allow[determinism]
 
     def __repr__(self) -> str:
         return f"CheckpointStore({str(self.root)!r})"

@@ -111,8 +111,13 @@ class ServeApp:
         await self.jobs.shutdown()
         await self.http.close()
         # All writers are drained: any temp file still staged under the
-        # cache tree is an orphan, whatever its age.
-        swept = sweep_stale_tmp(self.store.root, max_age=0.0)
+        # cache tree is an orphan, whatever its age.  The sweep walks the
+        # store tree on disk, so it runs on the loop's default executor —
+        # late job-failure statuses keep streaming while it scans.
+        loop = asyncio.get_running_loop()
+        swept = await loop.run_in_executor(
+            None, lambda: sweep_stale_tmp(self.store.root, max_age=0.0)
+        )
         if swept:
             print(f"serve: swept {swept} orphaned temp file(s)")
         self._stopped.set()

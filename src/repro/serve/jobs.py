@@ -377,7 +377,7 @@ class JobService:
             "key": outcome.key,
             "stats": outcome.stats.to_dict(),
         }
-        extra = self.store.load_with_extra(outcome.key)
+        extra = await self._in_thread(self.store.load_with_extra, outcome.key)
         if extra is not None and extra[1] is not None:
             payload["sampled"] = extra[1]
         path = await self._in_thread(

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SimulationError
@@ -198,7 +198,13 @@ class CoalescingScheduler:
                 self.counters.coalesced += 1
                 waiters.append((index, unit, key, future, PROVENANCE_COALESCED))
                 continue
-            stats = self.store.load(key)
+            # The check-inflight -> check-store -> register-future sequence
+            # must be atomic on the event loop: an await between the
+            # in-flight probe and the future registration would let a
+            # duplicate key slip past coalescing and simulate twice.  The
+            # store read is one small JSON file; correctness of N-askers ->
+            # 1-simulation depends on it staying inline.
+            stats = self.store.load(key)  # repro: allow[serve-async-hygiene]
             if stats is not None:
                 self.counters.hits += 1
                 outcomes[index] = UnitOutcome(unit, key, PROVENANCE_STORE, stats)

@@ -6,12 +6,14 @@ from repro.workloads.generator import (
     build_static_program,
     generate_trace,
 )
+from repro.workloads.prewarm import clear_prewarm_cache, prewarm
 from repro.workloads.profiles import (
     BranchBehavior,
     MemoryBehavior,
     OperationMix,
     WorkloadProfile,
 )
+from repro.workloads.spill import load_trace, materialize_trace, trace_spill_path
 from repro.workloads.suites import (
     FP_BENCHMARKS,
     INT_BENCHMARKS,
@@ -22,8 +24,6 @@ from repro.workloads.suites import (
     specint2000,
     stress_suite,
 )
-from repro.workloads.prewarm import clear_prewarm_cache, prewarm
-from repro.workloads.spill import load_trace, materialize_trace, trace_spill_path
 from repro.workloads.trace import Trace
 
 __all__ = [

@@ -35,7 +35,7 @@ import os
 import tempfile
 import zlib
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.common.config import stable_fingerprint
 from repro.isa.instructions import Instruction, RegisterRef

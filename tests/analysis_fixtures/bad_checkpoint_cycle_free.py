@@ -1,0 +1,21 @@
+# repro-fixture-module: repro.sampling.bad_fixture
+"""Known-bad fixture for the checkpoint-cycle-free rule: a warm-state
+dataclass carrying a cycle-typed field and a ``state_snapshot`` payload
+smuggling cycle numbers."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BadWarmState:
+    position: int
+    last_cycle: int
+
+
+class BadPredictor:
+    def __init__(self) -> None:
+        self.table = [0] * 16
+        self.ready_cycle = 0
+
+    def state_snapshot(self) -> dict:
+        return {"table": list(self.table), "cycle": self.ready_cycle}

@@ -1,0 +1,23 @@
+# repro-fixture-module: repro.energy.bad_fixture
+"""Known-bad fixture for the determinism rule: wall-clock reads,
+module-level randomness, filesystem-order iteration, and float
+accumulation over a set literal."""
+
+import os
+import random
+import time
+
+
+def jitter() -> float:
+    return time.perf_counter() + random.random()
+
+
+def trace_files(root: str) -> list:
+    return [name for name in os.listdir(root)]
+
+
+def total_energy() -> float:
+    acc = 0.0
+    for component in {1.0, 2.5, 3.25}:
+        acc += component
+    return acc

@@ -1,0 +1,22 @@
+# repro-fixture-module: repro.common.bad_fixture
+"""Known-bad fixture for the fingerprint-completeness rule: a typo'd
+``_FINGERPRINT_EXCLUDE`` entry (the silent ``dict.pop`` hazard), an
+unstable ``set`` field annotation, and a fingerprinted class that is
+not a dataclass."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BadConfig:
+    size: int = 64
+    flags: set = field(default_factory=set)
+
+    _FINGERPRINT_EXCLUDE = ("siez",)  # typo: field is 'size'
+
+
+class AlsoBadConfig:
+    _FINGERPRINT_EXCLUDE = ("kernel",)
+
+    def __init__(self, kernel: str) -> None:
+        self.kernel = kernel

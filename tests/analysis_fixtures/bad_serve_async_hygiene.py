@@ -1,0 +1,15 @@
+# repro-fixture-module: repro.serve.bad_fixture
+"""Known-bad fixture for the serve-async-hygiene rule: blocking store
+and runner calls executed directly inside coroutines."""
+
+
+class BadHandler:
+    def __init__(self, store, runner) -> None:
+        self.store = store
+        self.runner = runner
+
+    async def handle(self, key: str, pairs: list) -> object:
+        stats = self.store.load(key)
+        if stats is None:
+            stats = self.runner.run_many(pairs)[0]
+        return stats

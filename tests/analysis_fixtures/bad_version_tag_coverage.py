@@ -1,0 +1,12 @@
+# repro-fixture-module: repro.core.bad_fixture
+"""Known-bad fixture for the version-tag-coverage rule: a module hashed
+into SIMULATOR_VERSION_TAG importing behaviour from packages outside
+the digest source list."""
+
+from repro.explore.pareto import ParetoFrontier
+
+
+def lazy_edge():
+    import repro.serve.jobs as jobs
+
+    return jobs, ParetoFrontier

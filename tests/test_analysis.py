@@ -1,0 +1,267 @@
+"""Framework-level tests for ``repro.analysis``: suppression handling,
+result caching, baselines, and the CLI contract."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisCache, run_analysis
+from repro.analysis.__main__ import main
+from repro.analysis.engine import load_baseline, write_baseline
+from repro.analysis.rules.determinism import DeterminismRule
+
+BAD_CLOCK = "# repro-fixture-module: repro.core.clocky\nimport time\n\n\ndef now():\n    return time.time()\n"
+
+
+def _write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def _analyze(tmp_path: Path, **kwargs):
+    return run_analysis([tmp_path], base=tmp_path, **kwargs)
+
+
+class TestSuppressions:
+    def test_trailing_allow_silences_exactly_one_finding(self, tmp_path):
+        # Two identical violations; only the allowed line is silenced.
+        _write(
+            tmp_path,
+            "mod.py",
+            "# repro-fixture-module: repro.core.clocky\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def now():\n"
+            "    a = time.time()  # repro: allow[determinism]\n"
+            "    b = time.time()\n"
+            "    return a + b\n",
+        )
+        report = _analyze(tmp_path)
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 7
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].line == 6
+
+    def test_comment_above_binds_to_next_code_line(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            "# repro-fixture-module: repro.core.clocky\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def now():\n"
+            "    # repro: allow[determinism]\n"
+            "    return time.time()\n",
+        )
+        report = _analyze(tmp_path)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_unknown_rule_id_is_reported(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            "x = 1  # repro: allow[no-such-rule]\n",
+        )
+        report = _analyze(tmp_path)
+        assert [f.rule for f in report.findings] == ["unknown-suppression"]
+        assert "no-such-rule" in report.findings[0].message
+        assert report.exit_code == 1
+
+    def test_unused_suppression_is_reported(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            "x = 1  # repro: allow[determinism]\n",
+        )
+        report = _analyze(tmp_path)
+        assert [f.rule for f in report.findings] == ["unused-suppression"]
+        assert report.exit_code == 1
+
+    def test_suppression_does_not_leak_to_other_lines(self, tmp_path):
+        # An allow on one line must not silence the same rule elsewhere,
+        # and then counts as used only for its own line.
+        _write(
+            tmp_path,
+            "mod.py",
+            BAD_CLOCK.replace(
+                "    return time.time()",
+                "    return time.time()  # repro: allow[determinism]",
+            )
+            + "\n\ndef later():\n    return time.time()\n",
+        )
+        report = _analyze(tmp_path)
+        assert [f.rule for f in report.findings] == ["determinism"]
+        assert len(report.suppressed) == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        _write(tmp_path, "broken.py", "def oops(:\n")
+        report = _analyze(tmp_path)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.exit_code == 1
+
+
+class TestCache:
+    def test_warm_rerun_reanalyzes_nothing_and_report_is_byte_identical(
+        self, tmp_path
+    ):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        _write(tree, "mod.py", BAD_CLOCK)
+        cache = AnalysisCache(tmp_path / "cache")
+        cold = run_analysis([tree], base=tree, cache=cache)
+        assert cold.files_reanalyzed == 1
+        warm = run_analysis([tree], base=tree, cache=AnalysisCache(tmp_path / "cache"))
+        assert warm.files_reanalyzed == 0
+        assert warm.to_json().encode() == cold.to_json().encode()
+        assert [f.rule for f in warm.findings] == ["determinism"]
+
+    def test_edited_file_is_reanalyzed(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        _write(tree, "a.py", BAD_CLOCK)
+        _write(tree, "b.py", BAD_CLOCK.replace("clocky", "clocky2"))
+        cache_dir = tmp_path / "cache"
+        rules = [DeterminismRule()]  # per-file material: edits stay local
+        run_analysis([tree], base=tree, cache=AnalysisCache(cache_dir), rules=rules)
+        _write(tree, "b.py", BAD_CLOCK.replace("clocky", "clocky3"))
+        after = run_analysis(
+            [tree], base=tree, cache=AnalysisCache(cache_dir), rules=rules
+        )
+        assert after.files_reanalyzed == 1
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        _write(tree, "mod.py", BAD_CLOCK)
+        cache_dir = tmp_path / "cache"
+        run_analysis([tree], base=tree, cache=AnalysisCache(cache_dir))
+        for entry in cache_dir.rglob("*.json"):
+            entry.write_text("{not json")
+        report = run_analysis([tree], base=tree, cache=AnalysisCache(cache_dir))
+        assert report.files_reanalyzed == 1
+        assert [f.rule for f in report.findings] == ["determinism"]
+
+    def test_suppressions_apply_even_on_cache_hits(self, tmp_path):
+        # Raw findings are cached; allows are re-read from current source.
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        mod = _write(tree, "mod.py", BAD_CLOCK)
+        cache_dir = tmp_path / "cache"
+        cold = run_analysis([tree], base=tree, cache=AnalysisCache(cache_dir))
+        assert len(cold.findings) == 1
+        # Cache entries are keyed on file bytes, so the edited file
+        # re-analyzes — but the *unchanged* sibling's cached verdict must
+        # still flow through suppression handling.
+        sibling = _write(tree, "sib.py", BAD_CLOCK.replace("clocky", "clock2"))
+        mid = run_analysis([tree], base=tree, cache=AnalysisCache(cache_dir))
+        assert len(mid.findings) == 2
+        sibling.write_text(
+            sibling.read_text().replace(
+                "    return time.time()",
+                "    return time.time()  # repro: allow[determinism]",
+            )
+        )
+        final = run_analysis([tree], base=tree, cache=AnalysisCache(cache_dir))
+        assert mod.name in {Path(f.path).name for f in final.findings}
+        assert len(final.findings) == 1
+        assert len(final.suppressed) == 1
+
+
+class TestBaseline:
+    def test_baseline_filters_known_fingerprints(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        _write(tree, "mod.py", BAD_CLOCK)
+        report = run_analysis([tree], base=tree)
+        assert report.exit_code == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+        rerun = run_analysis([tree], base=tree, baseline=load_baseline(baseline_path))
+        assert rerun.findings == []
+        assert len(rerun.baselined) == 1
+        assert rerun.exit_code == 0
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "skip-safety",
+            "determinism",
+            "fingerprint-completeness",
+            "version-tag-coverage",
+            "checkpoint-cycle-free",
+            "serve-async-hygiene",
+        ):
+            assert rule_id in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--rules", "bogus", "--no-cache"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_clean_and_dirty_exit_codes_and_json_report(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        _write(clean, "ok.py", "# repro-fixture-module: repro.core.ok\nX = 1\n")
+        assert main([str(clean), "--no-cache"]) == 0
+        capsys.readouterr()
+
+        dirty = tmp_path / "dirty"
+        dirty.mkdir()
+        _write(dirty, "mod.py", BAD_CLOCK)
+        out_path = tmp_path / "report.json"
+        assert (
+            main([str(dirty), "--no-cache", "--out", str(out_path), "--format", "json"])
+            == 1
+        )
+        stdout = capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload == json.loads(stdout)
+        assert payload["schema"] == "repro-analysis-report-v1"
+        assert [f["rule"] for f in payload["findings"]] == ["determinism"]
+
+    def test_write_then_use_baseline_via_cli(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty"
+        dirty.mkdir()
+        _write(dirty, "mod.py", BAD_CLOCK)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(dirty), "--no-cache", "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(dirty), "--no-cache", "--baseline", str(baseline)]) == 0
+
+    def test_cache_dir_flag_warm_rerun(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        _write(tree, "ok.py", "# repro-fixture-module: repro.core.ok\nX = 1\n")
+        cache_dir = tmp_path / "cache"
+        assert main([str(tree), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main([str(tree), "--cache-dir", str(cache_dir)]) == 0
+        assert " 0 re-analyzed" in capsys.readouterr().out
+
+
+class TestFixtureModulePragma:
+    def test_pragma_scopes_rules_to_impersonated_package(self, tmp_path):
+        # Without a pragma the file has no module and package-scoped
+        # rules skip it entirely.
+        _write(tmp_path, "orphan.py", "import time\n\n\ndef f():\n    return time.time()\n")
+        report = _analyze(tmp_path)
+        assert report.findings == []
+
+
+@pytest.mark.parametrize("flag", ["--rules", "--list-rules", "--baseline", "--out"])
+def test_help_mentions_documented_flags(flag, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    assert flag in capsys.readouterr().out

@@ -12,7 +12,6 @@ from repro.energy.breakdown import (
     energy_breakdown,
 )
 from repro.energy.cacti import (
-    TECH_100NM,
     Technology,
     cam_broadcast_energy,
     cam_compare_energy,

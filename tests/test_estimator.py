@@ -3,10 +3,10 @@
 import pytest
 
 from repro.common.config import default_config
+from repro.isa.opcodes import OpClass
 from repro.issue.latency_estimator import IssueTimeEstimator
 
 from tests.util import alu, branch, f, fpalu, load, r, store
-from repro.isa.opcodes import OpClass
 
 
 @pytest.fixture

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.explore.objectives import PointScore
 from repro.explore.pareto import (
     crowding_distances,
     crowding_select,
@@ -14,7 +15,6 @@ from repro.explore.pareto import (
     pareto_front,
     refine,
 )
-from repro.explore.objectives import PointScore
 from repro.explore.space import default_space
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the fetch engine."""
 
-import pytest
 
 from repro.common.config import default_config
 from repro.frontend.fetch import FetchEngine

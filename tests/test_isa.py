@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import FunctionalUnitConfig
 from repro.common.errors import TraceError
-from repro.isa.instructions import Instruction, RegisterRef, validate_instruction
+from repro.isa.instructions import Instruction, validate_instruction
 from repro.isa.opcodes import FuType, OpClass, fu_type_for, is_pipelined, latency_for
 
 from tests.util import alu, branch, f, load, r, store

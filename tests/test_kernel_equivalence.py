@@ -17,12 +17,12 @@ import random
 import pytest
 
 from repro.common.config import (
-    IssueSchemeConfig,
     KERNEL_NAIVE,
     KERNEL_SKIP,
     KERNEL_SPECIALIZED,
     KERNEL_VECTORIZED,
     VALID_KERNELS,
+    IssueSchemeConfig,
     default_config,
 )
 from repro.common.errors import ConfigurationError

@@ -8,6 +8,7 @@ from repro.core.functional_units import PooledFuPool
 from repro.core.lsq import LoadStoreQueue
 from repro.core.scoreboard import Scoreboard
 from repro.core.uop import InFlight
+from repro.isa.opcodes import OpClass
 from repro.issue import build_scheme
 from repro.issue.base import IssueContext
 from repro.issue.conventional import ConventionalIssueQueue
@@ -16,7 +17,6 @@ from repro.issue.latfifo import LatFifoScheme
 from repro.issue.mixbuff import MixBuffScheme
 
 from tests.util import alu, f, fpalu, r
-from repro.isa.opcodes import OpClass
 
 
 def make_uop(inst, age=None):

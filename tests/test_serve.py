@@ -457,7 +457,7 @@ class TestGracefulShutdown:
     def test_post_after_shutdown_is_503(self, tmp_path):
         async def body():
             app = ServeApp(ResultStore(tmp_path))
-            port = await app.start("127.0.0.1", 0)
+            await app.start("127.0.0.1", 0)
             await app.shutdown()
             # Listener is closed; job submission through the service
             # object reports shutdown rather than accepting silently.
