@@ -127,8 +127,20 @@ async def _run_phase(args):
         print(f"serve-smoke[{phase}]: scheduler totals -> "
               f"{sched['units']} units, {sched['simulated']} simulated, "
               f"{sched['coalesced']} coalesced, {sched['hits']} store hits; "
+              f"queue depth {sched['queue_depth']}, "
+              f"{sched['in_flight_batches']} batch(es) in flight; "
               f"store holds {stats['store']['results']} results in "
               f"{stats['store']['shards']} shards")
+
+        # Observability surfaces: Prometheus scrape + HTML status page.
+        status, metrics = await _request(port, "GET", "/metrics")
+        assert status == 200, (status, metrics)
+        (out_dir / "metrics.prom").write_bytes(metrics)
+        status, page = await _request(port, "GET", "/")
+        assert status == 200, (status, page)
+        (out_dir / "status.html").write_bytes(page)
+        print(f"serve-smoke[{phase}]: scraped /metrics "
+              f"({len(metrics)} bytes) and / ({len(page)} bytes)")
         if args.warm:
             if sched["simulated"] != 0:
                 raise SystemExit(

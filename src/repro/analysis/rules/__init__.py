@@ -17,6 +17,7 @@ from repro.analysis.rules.checkpoints import CheckpointCycleFreeRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.fingerprint import FingerprintCompletenessRule
 from repro.analysis.rules.skip_safety import SkipSafetyRule
+from repro.analysis.rules.telemetry import TelemetryHygieneRule
 from repro.analysis.rules.version_tags import VersionTagCoverageRule
 
 ALL_RULES: List[Rule] = [
@@ -26,6 +27,7 @@ ALL_RULES: List[Rule] = [
     VersionTagCoverageRule(),
     CheckpointCycleFreeRule(),
     ServeAsyncHygieneRule(),
+    TelemetryHygieneRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

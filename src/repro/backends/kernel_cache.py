@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.backends import codegen
-from repro.experiments.store import _ENV_VAR, sweep_stale_tmp
+from repro.experiments.store import _ENV_VAR, record_cache_event, sweep_stale_tmp
 
 __all__ = [
     "KERNEL_HEADER_PREFIX",
@@ -142,10 +142,12 @@ def load_kernel_module(spec: dict) -> types.ModuleType:
             _swept_roots.add(root)
         path = kernel_path(spec, root)
         source = _read_cached(path)
+        record_cache_event("kernels", "hit" if source is not None else "miss")
     if source is None:
         source = codegen.generate_source(spec)
         if path is not None:
             _write_cached(path, source)
+            record_cache_event("kernels", "write")
     module = _compile(source, spec_sha)
     _memo[key] = module
     return module

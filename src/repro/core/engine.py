@@ -114,8 +114,14 @@ class KernelTelemetry:
         self.drained_broadcasts = 0
 
 
-#: Process-wide accumulator across every run in this process (workers
-#: fold theirs into the parent's via the parallel result payloads).
+#: Compatibility shim: a process-wide accumulator of plain counters.
+#: The authoritative sink is now the ``repro.obs`` metrics registry —
+#: but this module sits inside the version-tag closure, which must not
+#: import ``repro.obs`` (telemetry may never rotate a cache key), so the
+#: engine keeps counting here and the *untagged* experiments layer
+#: measures the growth around each run and absorbs it into the registry
+#: (see ``ExperimentRunner._simulate`` / ``parallel._simulate_to_payload``).
+#: Kept public for the bench harness and tests that read or reset it.
 GLOBAL_TELEMETRY = KernelTelemetry()
 
 

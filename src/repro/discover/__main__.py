@@ -22,6 +22,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.common import faults
 from repro.common.errors import ConfigurationError
 from repro.discover.campaign import DiscoverySettings, run_discovery
@@ -94,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the findings.json artifact into DIR",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write observability sidecar files (Chrome trace_event JSON, "
+            "NDJSON event log, Prometheus metrics snapshot) under DIR; "
+            "artifacts stay byte-identical (equivalent: REPRO_TRACE=DIR)"
+        ),
+    )
+    parser.add_argument(
         "--inject",
         default=None,
         metavar="FAULT",
@@ -146,13 +157,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         armed = faults.active_faults()
         if armed:
             print(f"armed fault(s): {', '.join(armed)}")
-        report = run_discovery(
-            settings,
-            store=store,
-            oracles=oracles,
-            workers=args.workers,
-            progress=print,
-        )
+        if args.trace_out:
+            obs.configure(args.trace_out)
+        try:
+            with obs.span(
+                "discover", rounds=settings.rounds, per_round=settings.per_round
+            ):
+                report = run_discovery(
+                    settings,
+                    store=store,
+                    oracles=oracles,
+                    workers=args.workers,
+                    progress=print,
+                )
+        finally:
+            obs.flush()
     finally:
         if previous_faults is None:
             os.environ.pop(faults.ENV_VAR, None)

@@ -8,7 +8,7 @@ Command line::
         [--kernel naive|skip|vectorized|specialized]
         [--sampling [SPEC]] [--sampling-validate] [--list]
         [--cache-dir DIR] [--no-cache] [--profile [FILE]]
-        [--output json|csv] [--output-path FILE]
+        [--output json|csv] [--output-path FILE] [--trace-out DIR]
 
 This is the batch entry point behind the per-figure benchmarks: it
 shares one cached runner across all figures, prefetches the whole
@@ -60,6 +60,13 @@ bound, which is the CI gate for the sampling contract.
 
 ``--list`` prints the campaign's catalog — benchmarks per suite, figure
 numbers with titles, scheme names and simulation kernels — and exits.
+
+``--trace-out DIR`` (or ``REPRO_TRACE=DIR``) turns on the
+:mod:`repro.obs` tracing sidecar: Chrome-``trace_event`` JSON, an NDJSON
+event log and a Prometheus metrics snapshot land under ``DIR`` (one set
+of pid-suffixed files per process, pool workers included). Telemetry is
+strictly write-only: cache keys, simulated statistics and every artifact
+are byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -68,9 +75,9 @@ import argparse
 import cProfile
 import json
 import pstats
-import time
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.common.config import VALID_KERNELS, scheme_name
 from repro.common.errors import ConfigurationError
 from repro.core import engine
@@ -384,6 +391,14 @@ def main(argv: List[str] = None) -> None:
     parser.add_argument("--output-path", type=str, default=None,
                         help="artifact path for --output (default "
                              "campaign.json / campaign.csv)")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="DIR",
+                        help="write observability sidecar files under DIR: "
+                             "Chrome trace_event JSON (Perfetto-loadable), "
+                             "an NDJSON event log and a Prometheus metrics "
+                             "snapshot, pid-suffixed per process. Purely "
+                             "additive: results and artifacts are "
+                             "byte-identical with or without it "
+                             "(equivalent: REPRO_TRACE=DIR)")
     args = parser.parse_args(argv)
 
     if args.list or args.version_tag:
@@ -395,7 +410,7 @@ def main(argv: List[str] = None) -> None:
         other = (
             "scale", "seed", "figures", "schemes", "workers", "benchmarks",
             "kernel", "sampling", "sampling_validate", "cache_dir",
-            "no_cache", "output", "output_path", "profile",
+            "no_cache", "output", "output_path", "profile", "trace_out",
             "list" if args.version_tag else "version_tag",
         )
         ignored = [
@@ -469,11 +484,16 @@ def main(argv: List[str] = None) -> None:
             plan.slice_windows(scale.warmup_instructions, scale.num_instructions)
         except ConfigurationError as exc:
             parser.error(f"--sampling: {exc}")
-    if args.profile:
-        _run_profiled(args.profile, _run_selected,
-                      args, parser, scale, store, plan, numbers)
-    else:
-        _run_selected(args, parser, scale, store, plan, numbers)
+    if args.trace_out:
+        obs.configure(args.trace_out)
+    try:
+        if args.profile:
+            _run_profiled(args.profile, _run_selected,
+                          args, parser, scale, store, plan, numbers)
+        else:
+            _run_selected(args, parser, scale, store, plan, numbers)
+    finally:
+        obs.flush()
 
 
 def _run_profiled(path: str, func: Callable, *call_args) -> None:
@@ -499,8 +519,11 @@ def _run_profiled(path: str, func: Callable, *call_args) -> None:
 
 def _run_selected(args, parser, scale, store, plan, numbers) -> None:
     """Execute the selected campaign mode (after all argument vetting)."""
-    engine.GLOBAL_TELEMETRY.reset()
-    started = time.perf_counter()
+    # Footer telemetry is registry-backed: snapshot the per-kernel cycle
+    # totals up front and report the growth, instead of resetting the
+    # engine's process-global shim (which other harnesses may be using).
+    kernel_before = obs.kernel_totals()
+    started = obs.clock.perf_counter()
     if args.sampling_validate:
         if args.benchmarks == "int":
             benchmarks = list(INT_BENCHMARKS)
@@ -520,7 +543,7 @@ def _run_selected(args, parser, scale, store, plan, numbers) -> None:
             for benchmark in benchmarks
             if table["err_pct"][benchmark] > table["bound_pct"][benchmark]
         ]
-        elapsed = time.perf_counter() - started
+        elapsed = obs.clock.perf_counter() - started
         print()
         if violations:
             print(
@@ -566,15 +589,20 @@ def _run_selected(args, parser, scale, store, plan, numbers) -> None:
         )
     else:
         for number in numbers:
-            print(run_campaign(runner, [number], workers=args.workers)[number])
+            with obs.span("campaign.figure", figure=number):
+                print(run_campaign(runner, [number], workers=args.workers)[number])
             print()
         if args.output:
             path = args.output_path or f"campaign.{args.output}"
             written = export_campaign(runner, numbers, args.output, path)
             print(f"exported {len(numbers)} figures to {written}")
-    elapsed = time.perf_counter() - started
+    elapsed = obs.clock.perf_counter() - started
     stats = runner.cache_stats()
-    kernel_tel = engine.GLOBAL_TELEMETRY
+    kernel_totals = obs.kernel_totals()
+    kernel_tel = engine.KernelTelemetry(
+        **{name: kernel_totals[name] - kernel_before[name]
+           for name in kernel_totals}
+    )
     print(
         f"campaign: {len(numbers)} figures in {elapsed:.1f}s — "
         f"{stats['simulations']} simulated, {stats['disk_hits']} disk hits, "

@@ -30,6 +30,7 @@ import multiprocessing
 import signal
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.common.config import IssueSchemeConfig, ProcessorConfig
 from repro.common.stats import SimulationStats
 from repro.core import engine
@@ -119,36 +120,65 @@ def _simulate_to_payload(job: tuple) -> dict:
     """
     # Imported here (not at module top) so the parent's import of this
     # module stays cheap and spawn-based workers re-import lazily.
-    from repro.experiments.runner import simulate_pair, simulate_sampled_pair
+    from repro.experiments.runner import (
+        resolve_config,
+        scheme_label,
+        simulate_pair,
+        simulate_sampled_pair,
+    )
 
     benchmark, scheme, scale, kernel, trace_dir, sampling, checkpoint_dir = job
     trace = _load_worker_trace(benchmark, scale, trace_dir)
+    effective_kernel = kernel or resolve_config(scheme).kernel
+    metrics_before = obs.get_registry().snapshot()
     before = engine.GLOBAL_TELEMETRY.as_dict()
     sampled_payload = None
-    if sampling is not None:
-        sampled, trace = simulate_sampled_pair(
-            benchmark,
-            scheme,
-            scale,
-            sampling,
-            trace=trace,
-            kernel=kernel,
-            checkpoint_dir=checkpoint_dir,
-        )
-        stats = sampled.stats
-        sampled_payload = sampled.to_dict()
-    else:
-        stats, trace = simulate_pair(
-            benchmark, scheme, scale, trace=trace, kernel=kernel
-        )
+    detailed = None
+    with obs.span(
+        "worker.simulate",
+        benchmark=benchmark,
+        scheme=scheme_label(scheme),
+        kernel=effective_kernel,
+        mode="sampled" if sampling is not None else "full",
+    ):
+        if sampling is not None:
+            sampled, trace = simulate_sampled_pair(
+                benchmark,
+                scheme,
+                scale,
+                sampling,
+                trace=trace,
+                kernel=kernel,
+                checkpoint_dir=checkpoint_dir,
+            )
+            stats = sampled.stats
+            sampled_payload = sampled.to_dict()
+            detailed = int(sampled.detailed_instructions)
+        else:
+            stats, trace = simulate_pair(
+                benchmark, scheme, scale, trace=trace, kernel=kernel
+            )
     after = engine.GLOBAL_TELEMETRY.as_dict()
     _WORKER_TRACES[(benchmark, scale.num_instructions, scale.seed)] = trace
+    telemetry = {name: after[name] - before[name] for name in after}
+    obs.record_kernel_delta(effective_kernel, telemetry)
+    if detailed is not None:
+        obs.counter("repro_sampling_detailed_instructions_total").inc(detailed)
+        obs.counter("repro_sampling_ffwd_instructions_total").inc(
+            max(0, scale.num_instructions - detailed)
+        )
     payload = {
         "stats": stats.to_dict(),
-        "telemetry": {name: after[name] - before[name] for name in after},
+        "telemetry": telemetry,
+        # Registry growth during this job only: the parent merges it so
+        # counters and histograms come out identical to a serial run.
+        "metrics": obs.get_registry().delta_since(metrics_before),
     }
     if sampled_payload is not None:
         payload["sampled"] = sampled_payload
+    # Pool workers exit via os._exit (no atexit), so persist trace files
+    # after every job; a no-op when tracing is off.
+    obs.flush()
     return payload
 
 
@@ -191,9 +221,11 @@ def simulate_matrix(
     workers = min(worker_count(workers), len(jobs)) if jobs else 0
     if workers <= 1:
         payloads = [_simulate_to_payload(job) for job in jobs]
-        # In-process execution already updated GLOBAL_TELEMETRY directly.
+        # In-process execution already updated GLOBAL_TELEMETRY and the
+        # metrics registry directly — merging would double-count.
         for payload in payloads:
             payload.pop("telemetry", None)
+            payload.pop("metrics", None)
     else:
         with multiprocessing.Pool(
             processes=workers, initializer=_init_worker
@@ -209,6 +241,10 @@ def simulate_matrix(
             worker_tel = payload.pop("telemetry", None)
             if worker_tel:
                 engine.GLOBAL_TELEMETRY.merge(engine.KernelTelemetry(**worker_tel))
+            # Fold each worker's registry delta into the parent: counter
+            # and histogram *content* is deterministic (cycle counts,
+            # cache events), so the merged totals match a serial run.
+            obs.get_registry().merge_delta(payload.pop("metrics", None))
     if sampling is not None:
         from repro.sampling.estimator import SampledStats
 

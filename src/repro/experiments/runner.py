@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.common.config import (
     IssueSchemeConfig,
     ProcessorConfig,
@@ -47,6 +48,7 @@ __all__ = [
     "DEFAULT_SCALE",
     "SchemeOrConfig",
     "resolve_config",
+    "scheme_label",
     "simulate_pair",
     "simulate_sampled_pair",
     "clear_trace_memo",
@@ -64,6 +66,13 @@ def resolve_config(scheme: SchemeOrConfig) -> ProcessorConfig:
     if isinstance(scheme, ProcessorConfig):
         return scheme
     return default_config(scheme)
+
+
+def scheme_label(scheme: SchemeOrConfig) -> str:
+    """Short human label for a simulation target (telemetry only)."""
+    if isinstance(scheme, ProcessorConfig):
+        scheme = scheme.scheme
+    return getattr(scheme, "name", None) or type(scheme).__name__
 
 
 @dataclass(frozen=True)
@@ -254,6 +263,9 @@ class ExperimentRunner:
         self.kernel = kernel
         self.key_salt = key_salt
         self.telemetry = CacheTelemetry()
+        #: Resolution provenance of the most recent ``_lookup`` hit
+        #: ("memory"/"disk") — telemetry annotation only.
+        self._last_source: Optional[str] = None
         self._trace_cache: Dict[str, Trace] = {}
         self._result_cache: Dict[Tuple[str, SchemeOrConfig], SimulationStats] = {}
         #: Estimate records of sampled runs, keyed like the result cache.
@@ -310,6 +322,8 @@ class ExperimentRunner:
         stats = self._result_cache.get(key)
         if stats is not None:
             self.telemetry.memory_hits += 1
+            self._last_source = "memory"
+            obs.counter("repro_runner_memory_hits_total").inc()
             return stats
         if self.store is not None:
             loaded = self.store.load_with_extra(self.store_key(benchmark, scheme))
@@ -321,6 +335,8 @@ class ExperimentRunner:
                         return None  # damaged estimate record: recompute
                     self._sampled_cache[key] = sampled
                 self.telemetry.disk_hits += 1
+                self._last_source = "disk"
+                obs.counter("repro_runner_disk_hits_total").inc()
                 self._result_cache[key] = stats
                 return stats
         return None
@@ -349,6 +365,7 @@ class ExperimentRunner:
     ) -> None:
         """File a freshly simulated result into memory and disk layers."""
         self.telemetry.simulations += 1
+        obs.counter("repro_runner_simulations_total").inc()
         self._result_cache[(benchmark, scheme)] = stats
         if sampled is not None:
             self._sampled_cache[(benchmark, scheme)] = sampled
@@ -360,34 +377,84 @@ class ExperimentRunner:
             )
 
     def _simulate(self, benchmark: str, scheme: SchemeOrConfig):
-        """One uncached simulation in the configured execution mode."""
-        if self.sampling is not None:
-            sampled, trace = simulate_sampled_pair(
-                benchmark,
-                scheme,
-                self.scale,
-                self.sampling,
-                trace=self._trace_cache.get(benchmark),
-                kernel=self.kernel,
-                checkpoint_dir=self._checkpoint_dir(),
-            )
-            return sampled.stats, trace, sampled
-        stats, trace = simulate_pair(
-            benchmark,
-            scheme,
-            self.scale,
-            trace=self._trace_cache.get(benchmark),
-            kernel=self.kernel,
+        """One uncached simulation in the configured execution mode.
+
+        Also the registry absorption point for kernel-cycle telemetry:
+        the engine (inside the version-tag closure, so barred from
+        importing ``repro.obs``) accumulates plain counters in
+        ``GLOBAL_TELEMETRY``; this untagged layer measures the growth
+        around each run and feeds the per-kernel counters/histograms.
+        Attribution is per-run-exact for the serial CLIs; concurrent
+        in-process batches (the serve executor threads) may attribute
+        overlapping cycles to the wrong span.
+        """
+        from repro.core import engine
+
+        kernel = self.kernel or resolve_config(scheme).kernel
+        mode = "sampled" if self.sampling is not None else "full"
+        before = engine.GLOBAL_TELEMETRY.as_dict()
+        with obs.span(
+            "runner.simulate",
+            benchmark=benchmark,
+            scheme=scheme_label(scheme),
+            kernel=kernel,
+            mode=mode,
+        ):
+            if self.sampling is not None:
+                sampled, trace = simulate_sampled_pair(
+                    benchmark,
+                    scheme,
+                    self.scale,
+                    self.sampling,
+                    trace=self._trace_cache.get(benchmark),
+                    kernel=self.kernel,
+                    checkpoint_dir=self._checkpoint_dir(),
+                )
+                result = (sampled.stats, trace, sampled)
+            else:
+                stats, trace = simulate_pair(
+                    benchmark,
+                    scheme,
+                    self.scale,
+                    trace=self._trace_cache.get(benchmark),
+                    kernel=self.kernel,
+                )
+                result = (stats, trace, None)
+        after = engine.GLOBAL_TELEMETRY.as_dict()
+        obs.record_kernel_delta(
+            kernel, {name: after[name] - before[name] for name in after}
         )
-        return stats, trace, None
+        if self.sampling is not None:
+            # The ffwd-vs-detailed split: how much of the instruction
+            # stream went through functional fast-forward instead of
+            # detailed simulation.
+            detailed = int(result[2].detailed_instructions)
+            obs.counter("repro_sampling_detailed_instructions_total").inc(
+                detailed
+            )
+            obs.counter("repro_sampling_ffwd_instructions_total").inc(
+                max(0, self.scale.num_instructions - detailed)
+            )
+        return result
 
     def run(self, benchmark: str, scheme: SchemeOrConfig) -> SimulationStats:
         """Simulate one (benchmark, scheme-or-config) pair (cached)."""
-        stats = self._lookup(benchmark, scheme)
-        if stats is None:
-            stats, trace, sampled = self._simulate(benchmark, scheme)
-            self._trace_cache[benchmark] = trace
-            self._record(benchmark, scheme, stats, sampled)
+        with obs.span(
+            "runner.resolve",
+            benchmark=benchmark,
+            scheme=scheme_label(scheme),
+        ) as info:
+            stats = self._lookup(benchmark, scheme)
+            if stats is not None:
+                info["source"] = self._last_source
+            else:
+                info["source"] = "simulated"
+                stats, trace, sampled = self._simulate(benchmark, scheme)
+                self._trace_cache[benchmark] = trace
+                self._record(benchmark, scheme, stats, sampled)
+            if obs.trace_enabled():
+                # Per-key provenance: which content address answered.
+                info["key"] = self.store_key(benchmark, scheme)
         return stats
 
     def sampled_result(self, benchmark: str, scheme: SchemeOrConfig):

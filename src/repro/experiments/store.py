@@ -32,13 +32,13 @@ import hashlib
 import json
 import os
 import tempfile
-import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.common import faults
 from repro.common.config import ProcessorConfig, stable_fingerprint
 from repro.common.stats import SimulationStats
+from repro.obs import clock, metrics
 from repro.workloads.profiles import WorkloadProfile
 
 __all__ = [
@@ -52,8 +52,30 @@ __all__ = [
     "simulator_sources_digest",
     "package_sources_digest",
     "atomic_write_json",
+    "record_cache_event",
     "sweep_stale_tmp",
 ]
+
+_CACHE_EVENT_METRICS = {
+    "hit": "repro_store_hits_total",
+    "miss": "repro_store_misses_total",
+    "corrupt": "repro_store_corrupt_reads_total",
+    "write": "repro_store_writes_total",
+}
+
+
+def record_cache_event(cache: str, event: str, amount: int = 1) -> None:
+    """Count one cache observation in the obs metrics registry.
+
+    ``cache`` labels the series (``results``, ``checkpoints``,
+    ``kernels``); ``event`` is one of ``hit``/``miss``/``corrupt``/
+    ``write``. This function is the telemetry seam for version-tagged
+    callers: the checkpoint store and the kernel cache already import
+    this module (it is the one exemption from the version-tag closure)
+    but must not import ``repro.obs`` themselves, so they count through
+    here. Purely additive — no caller behaviour may depend on it.
+    """
+    metrics.counter(_CACHE_EVENT_METRICS[event], store=cache).inc(amount)
 
 
 def atomic_write_json(path: Path, payload: dict) -> Path:
@@ -113,7 +135,7 @@ def sweep_stale_tmp(root: os.PathLike, max_age: float = STALE_TMP_AGE_SECONDS) -
         root = Path(root)
         if not root.is_dir():
             return 0
-        now = time.time()
+        now = clock.wall_time()
         for path in root.rglob("*.tmp"):
             try:
                 if now - path.stat().st_mtime >= max_age:
@@ -342,24 +364,34 @@ class ResultStore:
         for path in candidates:
             loaded = self._read_payload(path)
             if loaded is not None:
+                record_cache_event("results", "hit")
                 return loaded
+        record_cache_event("results", "miss")
         return None
 
     @staticmethod
     def _read_payload(path: Path):
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
+            raw = path.read_bytes()
+        except OSError:
+            return None  # missing or unreadable file: a plain miss
+        try:
+            payload = json.loads(raw.decode("utf-8"))
             if not isinstance(payload, dict):
-                return None
+                raise ValueError("payload is not an object")
             if payload.get("version") != SIMULATOR_VERSION_TAG:
+                # Expected after a source edit rotates the tag: stale,
+                # not damaged — don't count it as a corrupt read.
                 return None
             stats = SimulationStats.from_dict(payload["stats"])
             extra = payload.get("sampled")
             if extra is not None and not isinstance(extra, dict):
-                return None
+                raise ValueError("mis-typed sampled record")
             return stats, extra
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # The file existed but could not be trusted: torn write,
+            # binary garbage, wrong shape. Still a miss to the caller.
+            record_cache_event("results", "corrupt")
             return None
 
     def save(self, key: str, stats: SimulationStats, extra: Optional[dict] = None) -> Path:
@@ -372,7 +404,9 @@ class ResultStore:
         payload = {"version": SIMULATOR_VERSION_TAG, "key": key, "stats": stats.to_dict()}
         if extra is not None:
             payload["sampled"] = extra
-        return atomic_write_json(self._path(key), payload)
+        path = atomic_write_json(self._path(key), payload)
+        record_cache_event("results", "write")
+        return path
 
     def shard_counts(self) -> List[int]:
         """Cached-result count per shard, in shard order.

@@ -7,7 +7,7 @@ Command line::
         [--aggregate [GROUP|a,b,c]] [--epsilon E] [--frontier-budget N]
         [--scale N] [--workers N] [--kernel naive|skip]
         [--sampling [SPEC]] [--neighbors N] [--out DIR]
-        [--cache-dir DIR] [--no-cache]
+        [--cache-dir DIR] [--no-cache] [--trace-out DIR]
 
 Samples the scheme × geometry × processor × workload space, scores every
 point on the paper's energy/performance objectives against the IQ_64_64
@@ -42,9 +42,9 @@ byte-identical and the whole exploration replays from cache.
 from __future__ import annotations
 
 import argparse
-import time
 from typing import List, Optional
 
+from repro import obs
 from repro.common.errors import ConfigurationError, UnknownBenchmarkError
 from repro.experiments.store import ResultStore, default_cache_dir
 from repro.explore.drivers import (
@@ -119,6 +119,11 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result store (every point "
                              "simulates fresh and nothing persists)")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="DIR",
+                        help="write observability sidecar files (Chrome "
+                             "trace_event JSON, NDJSON event log, Prometheus "
+                             "metrics snapshot) under DIR; artifacts stay "
+                             "byte-identical (equivalent: REPRO_TRACE=DIR)")
     args = parser.parse_args(argv)
 
     try:
@@ -160,9 +165,15 @@ def main(argv: Optional[List[str]] = None) -> None:
             default_cache_dir()
         )
 
-    started = time.perf_counter()
-    result = run_exploration(settings, store=store)
-    elapsed = time.perf_counter() - started
+    if args.trace_out:
+        obs.configure(args.trace_out)
+    started = obs.clock.perf_counter()
+    try:
+        with obs.span("explore", samples=args.samples, rounds=args.rounds):
+            result = run_exploration(settings, store=store)
+    finally:
+        obs.flush()
+    elapsed = obs.clock.perf_counter() - started
     paths = write_artifacts(result, args.out)
 
     print(result.report())

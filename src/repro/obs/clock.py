@@ -1,0 +1,33 @@
+"""Host-clock access, quarantined.
+
+Every wall-clock read in the repository goes through this module. That
+is not ceremony: the ``telemetry-hygiene`` static-analysis rule forbids
+``time.time``/``perf_counter``/``datetime.now`` everywhere else under
+``repro``, so a reviewer (and CI) can see at a glance that no simulated
+result, cache key or artifact can depend on the host clock — only
+telemetry, job timestamps and footer wall-times can.
+
+``repro.obs`` itself stays outside the version-tag closure, so nothing
+here can rotate a cache key either.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "perf_counter", "wall_time"]
+
+
+def wall_time() -> float:
+    """Seconds since the epoch — job timestamps, stale-file ages."""
+    return time.time()
+
+
+def perf_counter() -> float:
+    """High-resolution monotonic timer — span durations, footers."""
+    return time.perf_counter()
+
+
+def monotonic() -> float:
+    """Monotonic clock for deadlines that must survive clock steps."""
+    return time.monotonic()

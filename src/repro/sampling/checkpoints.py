@@ -96,6 +96,15 @@ class CheckpointStore:
         mode — missing file, truncated JSON, wrong version, mis-typed
         payload — is a miss, never an exception.
         """
+        from repro.experiments.store import record_cache_event
+
+        state = self._load_validated(warmer, position)
+        record_cache_event(
+            "checkpoints", "hit" if state is not None else "miss"
+        )
+        return state
+
+    def _load_validated(self, warmer, position: int):
         from repro.experiments.store import SIMULATOR_VERSION_TAG
         from repro.sampling.ffwd import WarmState
 
@@ -167,7 +176,11 @@ class CheckpointStore:
 
     def save(self, warmer, state) -> Path:
         """Atomically persist ``state``; returns the file path."""
-        from repro.experiments.store import SIMULATOR_VERSION_TAG, atomic_write_json
+        from repro.experiments.store import (
+            SIMULATOR_VERSION_TAG,
+            atomic_write_json,
+            record_cache_event,
+        )
 
         key = checkpoint_key(warmer, state.position)
         payload = {
@@ -178,7 +191,9 @@ class CheckpointStore:
             "hierarchy": [list(level) for level in state.hierarchy],
             "predictor": state.predictor,
         }
-        return atomic_write_json(self._path(key), payload)
+        path = atomic_write_json(self._path(key), payload)
+        record_cache_event("checkpoints", "write")
+        return path
 
     def __len__(self) -> int:
         if not self.root.is_dir():

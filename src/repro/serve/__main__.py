@@ -4,7 +4,7 @@ Command line::
 
     python -m repro.serve [--host HOST] [--port PORT]
         [--cache-dir DIR] [--shards N] [--workers N]
-        [--batch-interval SECONDS] [--job-threads N]
+        [--batch-interval SECONDS] [--job-threads N] [--trace-out DIR]
 
 Starts a long-lived asyncio HTTP service over the content-addressed
 result store. Clients POST JSON job specs to ``/v1/jobs``::
@@ -19,7 +19,11 @@ and follow progress via ``GET /v1/jobs/<id>`` (status),
 ``/v1/jobs/<id>/events`` (chunked NDJSON stream) and
 ``/v1/jobs/<id>/artifact`` (the same byte-identical JSON/CSV artifacts
 the CLIs emit). ``/v1/stats`` exposes coalescing and shard counters;
-``/v1/version`` mirrors ``campaign --version-tag``.
+``/v1/version`` mirrors ``campaign --version-tag``. ``GET /metrics``
+serves the observability registry in Prometheus text format and
+``GET /`` a self-contained HTML status page; ``--trace-out DIR`` (or
+``REPRO_TRACE=DIR``) additionally writes Chrome ``trace_event`` JSON
+and NDJSON event sidecars — artifacts stay byte-identical either way.
 
 ``--workers`` sizes the per-batch ``multiprocessing`` fan-out (0 = run
 batches serially in the executor thread); ``--shards`` partitions the
@@ -34,6 +38,7 @@ import argparse
 import asyncio
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.store import MAX_SHARDS, ResultStore, default_cache_dir
 from repro.serve.app import ServeApp
 from repro.serve.scheduler import DEFAULT_BATCH_INTERVAL
@@ -65,6 +70,11 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--job-threads", type=int, default=4,
                         help="concurrent job bodies (figure assembly, "
                              "exploration drivers; default 4)")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="DIR",
+                        help="write observability sidecar files (Chrome "
+                             "trace_event JSON, NDJSON event log, Prometheus "
+                             "metrics snapshot) under DIR; artifacts stay "
+                             "byte-identical (equivalent: REPRO_TRACE=DIR)")
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error("--workers cannot be negative")
@@ -85,7 +95,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         batch_interval=args.batch_interval,
         job_threads=args.job_threads,
     )
-    asyncio.run(app.serve_forever(args.host, args.port))
+    if args.trace_out:
+        obs.configure(args.trace_out)
+    try:
+        asyncio.run(app.serve_forever(args.host, args.port))
+    finally:
+        obs.flush()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ import signal
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro import obs
 from repro.experiments.campaign import version_payload
 from repro.experiments.store import ResultStore, sweep_stale_tmp
 from repro.serve.jobs import JobService
@@ -56,6 +57,9 @@ class ServeApp:
         self.http = HttpFrontend(self)
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        # Shard census at startup: /v1/stats and the status page report
+        # per-shard growth since the server came up, not just totals.
+        self._start_shard_counts = store.shard_counts()
         self._shutdown_started = False
         self._stopped = asyncio.Event()
 
@@ -72,16 +76,33 @@ class ServeApp:
         states: Dict[str, int] = {}
         for job in self.jobs.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
+        shard_counts = self.store.shard_counts()
+        start = self._start_shard_counts
         return {
             "scheduler": self.scheduler.stats_payload(),
             "jobs": {"accepted": len(self.jobs.jobs), "states": states},
             "store": {
                 "root": str(self.store.root),
                 "shards": self.store.shards,
-                "shard_counts": self.store.shard_counts(),
+                "shard_counts": shard_counts,
+                "shard_counts_at_start": list(start),
+                "shard_growth": [
+                    now - then for now, then in zip(shard_counts, start)
+                ],
                 "results": len(self.store),
             },
         }
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the obs registry in Prometheus text format."""
+        self.scheduler.update_gauges()
+        return obs.get_registry().render_prometheus()
+
+    def status_html(self) -> str:
+        """``GET /`` — a self-contained HTML status page."""
+        from repro.serve.status import render_status_page
+
+        return render_status_page(self)
 
     def jobs_index(self) -> Dict:
         """``GET /v1/jobs`` — newest first, summaries only."""

@@ -9,6 +9,8 @@ API whose cheap calls are dwarfed by its expensive ones.
 
 Endpoints::
 
+    GET  /                        self-contained HTML status page
+    GET  /metrics                 Prometheus text-format metrics
     POST /v1/jobs                 accept a job spec, returns 202 + job id
     GET  /v1/jobs                 job index (most recent first)
     GET  /v1/jobs/<id>            job status
@@ -159,6 +161,22 @@ class HttpFrontend:
 
     async def _route(self, method, path, query, body, writer) -> None:
         segments = [segment for segment in path.split("/") if segment]
+        if segments == [] and method == "GET":
+            await self._send_raw(
+                writer,
+                200,
+                self.app.status_html().encode("utf-8"),
+                "text/html; charset=utf-8",
+            )
+            return
+        if segments == ["metrics"] and method == "GET":
+            await self._send_raw(
+                writer,
+                200,
+                self.app.metrics_text().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         if segments[:1] != ["v1"]:
             raise _BadRequest(404, f"unknown path {path!r}")
         rest = segments[1:]

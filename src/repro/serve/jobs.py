@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-import time
 import uuid
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.common.config import VALID_KERNELS, scheme_name
 from repro.common.errors import ConfigurationError, ReproError
 from repro.experiments import figures as fig_mod
@@ -124,7 +124,7 @@ class Job:
         self.kind = kind
         self.spec = spec
         self.state = "queued"
-        self.created = time.time()
+        self.created = obs.clock.wall_time()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
         self.error: Optional[str] = None
@@ -157,7 +157,7 @@ class Job:
     def fail(self, error: str) -> None:
         self.state = "failed"
         self.error = error
-        self.finished = time.time()
+        self.finished = obs.clock.wall_time()
         self.emit("failed", error=error)
 
     def summary(self) -> Dict:
@@ -307,6 +307,7 @@ class JobService:
         if not self.accepting:
             raise SchedulerShutdown("server shutting down")
         parsed = self.parse(payload)
+        obs.counter("repro_serve_jobs_total", kind=parsed["type"]).inc()
         job_id = f"job-{next(self._counter):04d}-{uuid.uuid4().hex[:8]}"
         job = Job(job_id, parsed["type"], _displayable(parsed))
         job.parsed = parsed
@@ -318,7 +319,7 @@ class JobService:
         if job.state != "queued":  # failed by shutdown before starting
             return
         job.state = "running"
-        job.started = time.time()
+        job.started = obs.clock.wall_time()
         job.emit("running")
         try:
             handler = {
@@ -326,7 +327,8 @@ class JobService:
                 "figures": self._run_figures,
                 "exploration": self._run_exploration,
             }[job.kind]
-            job.result = await handler(job, job.parsed)
+            with obs.span("serve.job", job=job.id, kind=job.kind):
+                job.result = await handler(job, job.parsed)
         except SchedulerShutdown as exc:
             job.fail(f"server shutting down: {exc}")
         except asyncio.CancelledError:
@@ -336,7 +338,7 @@ class JobService:
             job.fail(f"{type(exc).__name__}: {exc}")
         else:
             job.state = "done"
-            job.finished = time.time()
+            job.finished = obs.clock.wall_time()
             job.emit("done", provenance=dict(job.provenance))
 
     def _job_dir(self, job: Job) -> Path:

@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.common.errors import SimulationError
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.store import ResultStore
@@ -85,6 +86,11 @@ class ServeCounters:
             "executor_disk_hits": self.executor_disk_hits,
             "batches": self.batches,
         }
+
+    def count(self, field: str, amount: int = 1) -> None:
+        """Increment one counter, mirrored into the obs registry."""
+        setattr(self, field, getattr(self, field) + amount)
+        obs.counter(f"repro_serve_{field}_total").inc(amount)
 
 
 class CoalescingScheduler:
@@ -168,11 +174,27 @@ class CoalescingScheduler:
         """Units queued but not yet folded into a batch."""
         return sum(len(items) for items in self._pending.values())
 
+    @property
+    def in_flight_batches(self) -> int:
+        """``run_many`` batches currently executing in worker threads."""
+        return len(self._batch_tasks)
+
     def stats_payload(self) -> Dict[str, int]:
         payload = self.counters.as_dict()
         payload["in_flight"] = self.in_flight
         payload["pending"] = self.pending
+        payload["queue_depth"] = self.pending
+        payload["in_flight_batches"] = self.in_flight_batches
+        # Every request that parked on a future — first askers plus the
+        # coalesced riders behind them.
+        payload["waiters"] = self.counters.misses + self.counters.coalesced
         return payload
+
+    def update_gauges(self) -> None:
+        """Refresh the obs gauges from the live queue state."""
+        obs.gauge("repro_serve_pending").set(self.pending)
+        obs.gauge("repro_serve_in_flight").set(self.in_flight)
+        obs.gauge("repro_serve_in_flight_batches").set(self.in_flight_batches)
 
     # ------------------------------------------------------------------
     # Resolution.
@@ -192,10 +214,10 @@ class CoalescingScheduler:
         waiters: List[Tuple[int, WorkUnit, str, asyncio.Future, str]] = []
         for index, unit in enumerate(units):
             key = unit.key()
-            self.counters.units += 1
+            self.counters.count("units")
             future = self._inflight.get(key)
             if future is not None:
-                self.counters.coalesced += 1
+                self.counters.count("coalesced")
                 waiters.append((index, unit, key, future, PROVENANCE_COALESCED))
                 continue
             # The check-inflight -> check-store -> register-future sequence
@@ -206,7 +228,7 @@ class CoalescingScheduler:
             # 1-simulation depends on it staying inline.
             stats = self.store.load(key)  # repro: allow[serve-async-hygiene]
             if stats is not None:
-                self.counters.hits += 1
+                self.counters.count("hits")
                 outcomes[index] = UnitOutcome(unit, key, PROVENANCE_STORE, stats)
                 continue
             future = loop.create_future()
@@ -214,7 +236,7 @@ class CoalescingScheduler:
             self._pending.setdefault(unit.batch_signature(), []).append(
                 (key, unit)
             )
-            self.counters.misses += 1
+            self.counters.count("misses")
             waiters.append((index, unit, key, future, PROVENANCE_SIMULATED))
         for index, unit, key, future, provenance in waiters:
             # shield(): the future is shared by every coalesced waiter —
@@ -265,7 +287,7 @@ class CoalescingScheduler:
         the service has workers configured. Results reach waiters through
         their futures; the runner has already filed them in the store.
         """
-        self.counters.batches += 1
+        self.counters.count("batches")
         first = items[0][1]
         runner = ExperimentRunner(
             first.scale,
@@ -277,9 +299,10 @@ class CoalescingScheduler:
         pairs = [(unit.benchmark, unit.scheme) for __, unit in items]
         loop = asyncio.get_running_loop()
         try:
-            results = await loop.run_in_executor(
-                self._executor, runner.run_many, pairs
-            )
+            with obs.span("serve.batch", units=len(items)):
+                results = await loop.run_in_executor(
+                    self._executor, runner.run_many, pairs
+                )
         except BaseException as exc:  # noqa: BLE001 — forwarded to waiters
             for key, __ in items:
                 future = self._inflight.pop(key, None)
@@ -289,8 +312,8 @@ class CoalescingScheduler:
                     )
             return
         telemetry = runner.cache_stats()
-        self.counters.simulated += telemetry["simulations"]
-        self.counters.executor_disk_hits += telemetry["disk_hits"]
+        self.counters.count("simulated", telemetry["simulations"])
+        self.counters.count("executor_disk_hits", telemetry["disk_hits"])
         for (key, __), stats in zip(items, results):
             future = self._inflight.pop(key, None)
             if future is not None and not future.done():

@@ -1,0 +1,16 @@
+# repro-fixture-module: repro.core.bad_telemetry
+"""Known-bad fixture for the telemetry-hygiene rule: a version-tagged
+module importing repro.obs — the telemetry back-edge into the hashed
+closure that would let tracing perturb cached results."""
+
+from repro import obs
+
+
+def count_something():
+    obs.counter("repro_bad_total").inc()
+
+
+def lazy_edge():
+    import repro.obs.metrics as metrics
+
+    return metrics

@@ -144,6 +144,47 @@ class TestRuleSpecifics:
         )
         assert report.findings == []
 
+    def test_telemetry_rule_bans_clocks_outside_obs(self, tmp_path):
+        # An untagged orchestration module reading the clock directly.
+        (tmp_path / "bad.py").write_text(
+            "# repro-fixture-module: repro.serve.bad_fx\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        report = run_analysis(
+            [tmp_path], base=tmp_path, rules=resolve_rules(["telemetry-hygiene"])
+        )
+        assert [f.rule for f in report.findings] == ["telemetry-hygiene"]
+        assert "repro.obs.clock" in report.findings[0].message
+
+    def test_telemetry_rule_exempts_obs_and_untagged_imports(self, tmp_path):
+        # repro.obs.clock is the sanctioned wall-clock site; untagged
+        # layers (experiments, serve) may import obs freely.
+        (tmp_path / "clock.py").write_text(
+            "# repro-fixture-module: repro.obs.clock_fx\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def wall_time():\n"
+            "    return time.time()\n"
+        )
+        (tmp_path / "runner.py").write_text(
+            "# repro-fixture-module: repro.experiments.ok_fx\n"
+            "from repro import obs\n"
+            "\n"
+            "\n"
+            "def tick():\n"
+            "    obs.counter('repro_ok_total').inc()\n"
+            "    return obs.clock.perf_counter()\n"
+        )
+        report = run_analysis(
+            [tmp_path], base=tmp_path, rules=resolve_rules(["telemetry-hygiene"])
+        )
+        assert report.findings == []
+
 
 class TestCleanTree:
     def test_real_tree_has_zero_unsuppressed_findings(self):

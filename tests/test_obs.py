@@ -1,0 +1,330 @@
+"""Tests for ``repro.obs``: the deterministic-safe observability layer.
+
+Covers the metrics registry (counters, gauges, fixed-bucket histograms,
+Prometheus rendering, snapshot/delta/merge), the span tracer (Chrome
+``trace_event`` JSON + NDJSON sidecars), worker-merge across the
+multiprocessing pool, the serve-side endpoints, and the headline
+guarantee: tracing never changes an artifact byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.usefixtures("fresh_registry")
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an empty registry and keep tracing off for each test."""
+    previous = obs.get_registry()
+    obs.set_registry(MetricsRegistry())
+    obs.disable()
+    try:
+        yield
+    finally:
+        obs.disable()
+        obs.set_registry(previous)
+
+
+class TestMetricsRegistry:
+    def test_counter_labels_and_negative_rejection(self):
+        counter = obs.counter("repro_test_total", store="results")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        # Same (name, labels) -> same series; different labels -> new one.
+        assert obs.counter("repro_test_total", store="results").value == 5
+        assert obs.counter("repro_test_total", store="kernels").value == 0
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_sets_not_accumulates(self):
+        gauge = obs.gauge("repro_test_pending")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_histogram_buckets_and_conflict(self):
+        hist = obs.histogram("repro_test_seconds", buckets=(1, 10))
+        for value in (0.5, 5, 50):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]  # <=1, <=10, +Inf
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(55.5)
+        with pytest.raises(ValueError):
+            obs.histogram("repro_test_seconds", buckets=(2, 20))
+
+    def test_snapshot_delta_merge_round_trip(self):
+        registry = obs.get_registry()
+        obs.counter("repro_a_total").inc(2)
+        obs.histogram("repro_h", buckets=(10,)).observe(3)
+        before = registry.snapshot()
+        obs.counter("repro_a_total").inc(5)
+        obs.counter("repro_b_total", k="x").inc(1)
+        obs.gauge("repro_g").set(9)  # gauges never ride in deltas
+        obs.histogram("repro_h", buckets=(10,)).observe(99)
+        delta = registry.delta_since(before)
+        assert "gauges" not in delta
+        assert all("repro_g" not in key for key in delta["counters"])
+
+        other = MetricsRegistry()
+        other.counter("repro_a_total").inc(100)
+        other.merge_delta(delta)
+        assert other.counter("repro_a_total").value == 105
+        assert other.counter("repro_b_total", k="x").value == 1
+        merged = other.histogram("repro_h", buckets=(10,))
+        assert merged.counts == [0, 1]
+        assert merged.sum == pytest.approx(99)
+
+    def test_delta_drops_untouched_series(self):
+        obs.counter("repro_quiet_total").inc(3)
+        before = obs.get_registry().snapshot()
+        obs.counter("repro_loud_total").inc()
+        delta = obs.get_registry().delta_since(before)
+        assert all(
+            "repro_quiet_total" not in key for key in delta["counters"]
+        )
+        assert any("repro_loud_total" in key for key in delta["counters"])
+
+    def test_prometheus_rendering(self):
+        obs.counter("repro_c_total", store="results").inc(2)
+        obs.gauge("repro_g").set(4)
+        obs.histogram("repro_h_seconds", buckets=(1, 10), span="x").observe(5)
+        text = obs.get_registry().render_prometheus()
+        assert '# TYPE repro_c_total counter' in text
+        assert 'repro_c_total{store="results"} 2' in text
+        assert '# TYPE repro_g gauge' in text
+        assert 'repro_h_seconds_bucket{span="x",le="+Inf"} 1' in text
+        assert 'repro_h_seconds_bucket{span="x",le="1"} 0' in text
+        assert 'repro_h_seconds_count{span="x"} 1' in text
+        assert text.endswith("\n")
+
+    def test_kernel_delta_and_totals(self):
+        delta = {
+            "executed_cycles": 10,
+            "skipped_cycles": 90,
+            "skip_spans": 4,
+            "drained_broadcasts": 0,
+        }
+        obs.record_kernel_delta("skip", delta)
+        obs.record_kernel_delta("naive", {**delta, "skipped_cycles": 0})
+        totals = obs.kernel_totals()
+        assert totals["executed_cycles"] == 20
+        assert totals["skipped_cycles"] == 90
+        assert totals["skip_spans"] == 8
+        assert obs.counter(
+            "repro_kernel_skipped_cycles_total", kernel="skip"
+        ).value == 90
+
+
+def _kernel_series(registry):
+    """The deterministic-content series: kernel counters + run histograms
+    (span-duration histograms, whose sums are wall-time, excluded)."""
+    snap = registry.snapshot()
+    series = {
+        key: value
+        for key, value in snap["counters"].items()
+        if "repro_kernel_" in key
+    }
+    series.update(
+        {
+            key: state
+            for key, state in snap["histograms"].items()
+            if "repro_run_" in key
+        }
+    )
+    return series
+
+
+class TestWorkerMerge:
+    PAIRS = None  # filled lazily to keep import cost out of collection
+
+    def _run_matrix(self, workers):
+        from repro.experiments import IF_DISTR, IQ_64_64
+        from repro.experiments.parallel import simulate_matrix
+        from repro.experiments.runner import RunScale
+
+        scale = RunScale(num_instructions=1200, warmup_instructions=600, seed=7)
+        pairs = [("gzip", IQ_64_64), ("gzip", IF_DISTR)]
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        results = simulate_matrix(pairs, scale, workers=workers)
+        return results, registry
+
+    def test_pool_merge_is_lossless_and_deterministic(self):
+        serial_results, serial_registry = self._run_matrix(workers=1)
+        pool_results, pool_registry = self._run_matrix(workers=2)
+        assert [stats.to_dict() for stats in serial_results] == [
+            stats.to_dict() for stats in pool_results
+        ]
+        serial_series = _kernel_series(serial_registry)
+        assert serial_series  # the run did feed kernel metrics
+        assert serial_series == _kernel_series(pool_registry)
+
+
+class TestTracer:
+    def test_span_files_are_valid_trace_event_json(self, tmp_path):
+        trace_dir = tmp_path / "trace"
+        obs.configure(trace_dir)
+        assert obs.trace_enabled()
+        with obs.span("unit.test", benchmark="gzip") as extra:
+            extra["source"] = "memory"
+        obs.instant("unit.marker", note=1)
+        obs.flush()
+
+        pid = os.getpid()
+        trace_file = trace_dir / f"trace-{pid}.json"
+        document = json.loads(trace_file.read_text())
+        assert "traceEvents" in document
+        events = document["traceEvents"]
+        spans = [e for e in events if e["name"] == "unit.test"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["ph"] == "X"
+        assert span["pid"] == pid
+        assert span["dur"] >= 0
+        assert span["args"] == {"benchmark": "gzip", "source": "memory"}
+
+        ndjson = trace_dir / f"events-{pid}.ndjson"
+        lines = [json.loads(line) for line in ndjson.read_text().splitlines()]
+        assert any(line["name"] == "unit.marker" for line in lines)
+
+        prom = trace_dir / f"metrics-{pid}.prom"
+        assert "repro_span_seconds" in prom.read_text()
+
+    def test_env_var_activates_and_disable_clears(self, tmp_path):
+        os.environ[obs.ENV_VAR] = str(tmp_path / "envtrace")
+        try:
+            assert obs.trace_enabled()
+            with obs.span("env.span"):
+                pass
+            obs.flush()
+            assert (tmp_path / "envtrace").is_dir()
+        finally:
+            obs.disable()
+        assert obs.ENV_VAR not in os.environ
+        assert not obs.trace_enabled()
+
+    def test_span_histogram_fed_even_when_disabled(self):
+        with obs.span("quiet.span"):
+            pass
+        hist = obs.histogram(
+            "repro_span_seconds", buckets=obs.SECONDS_BUCKETS, span="quiet.span"
+        )
+        assert hist.count == 1
+
+
+class TestCampaignByteIdentity:
+    def test_traced_campaign_artifact_is_byte_identical(self, tmp_path):
+        from repro.experiments.campaign import main
+
+        def run_campaign(tag, extra_args):
+            out = tmp_path / f"campaign-{tag}.json"
+            main(
+                [
+                    "--scale", "1000", "--figures", "2",
+                    "--cache-dir", str(tmp_path / f"cache-{tag}"),
+                    "--output", "json", "--output-path", str(out),
+                ]
+                + extra_args
+            )
+            return out.read_bytes()
+
+        plain = run_campaign("plain", [])
+        traced = run_campaign(
+            "traced", ["--trace-out", str(tmp_path / "trace-out")]
+        )
+        assert plain == traced
+        trace_files = list((tmp_path / "trace-out").glob("trace-*.json"))
+        assert trace_files, "tracing produced no trace file"
+        events = json.loads(trace_files[0].read_text())["traceEvents"]
+        names = {event["name"] for event in events}
+        assert "campaign.figure" in names
+        assert "runner.resolve" in names
+
+
+class TestServeEndpoints:
+    def test_metrics_status_and_stats_surfaces(self, tmp_path):
+        from repro.experiments.store import ResultStore
+        from repro.serve import ServeApp
+
+        async def request(port, method, path, payload=None):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            body = json.dumps(payload).encode() if payload is not None else b""
+            writer.write(
+                (
+                    f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, __, rest = raw.partition(b"\r\n\r\n")
+            return int(head.split(b" ")[1]), head, rest
+
+        async def body():
+            app = ServeApp(ResultStore(tmp_path, shards=2), batch_interval=0.02)
+            port = await app.start("127.0.0.1", 0)
+            try:
+                spec = {
+                    "type": "simulation", "benchmark": "gzip",
+                    "scheme": "IQ_64_64", "scale": 1200, "seed": 7,
+                }
+                status, __, posted = await request(
+                    port, "POST", "/v1/jobs", spec
+                )
+                assert status == 202
+                job_id = json.loads(posted)["job"]
+                while True:
+                    status, __, raw = await request(
+                        port, "GET", f"/v1/jobs/{job_id}"
+                    )
+                    if json.loads(raw)["state"] in ("done", "failed"):
+                        break
+                    await asyncio.sleep(0.05)
+
+                status, head, metrics_blob = await request(
+                    port, "GET", "/metrics"
+                )
+                assert status == 200
+                assert b"text/plain" in head
+                text = metrics_blob.decode("utf-8")
+                assert "repro_serve_units_total 1" in text
+                assert "repro_serve_jobs_total" in text
+                assert "repro_serve_pending 0" in text
+
+                status, head, page = await request(port, "GET", "/")
+                assert status == 200
+                assert b"text/html" in head
+                html = page.decode("utf-8")
+                assert "repro.serve" in html
+                assert job_id in html
+                assert "Store shard census" in html
+
+                status, __, raw = await request(port, "GET", "/v1/stats")
+                stats = json.loads(raw)
+                sched = stats["scheduler"]
+                assert sched["queue_depth"] == 0
+                assert sched["in_flight_batches"] == 0
+                assert sched["waiters"] == sched["misses"] + sched["coalesced"]
+                store_stats = stats["store"]
+                assert store_stats["shard_counts_at_start"] == [0, 0]
+                assert sum(store_stats["shard_growth"]) == 1
+
+                status, __, __body = await request(port, "GET", "/nope")
+                assert status == 404
+            finally:
+                await app.shutdown()
+
+        asyncio.run(body())
